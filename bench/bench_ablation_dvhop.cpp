@@ -1,0 +1,101 @@
+// Ablation A7: DV-hop (APS, Section 2 related work) vs this paper's methods.
+//
+// The paper dismisses DV-hop as working "well only for isotropic networks
+// with uniform node density". This bench quantifies that: on the uniform
+// offset grid DV-hop is serviceable (hop-resolution accuracy); on an
+// anisotropic L-shaped deployment it collapses while LSS is unaffected.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/dv_hop.hpp"
+#include "core/lss.hpp"
+#include "eval/metrics.hpp"
+#include "eval/report.hpp"
+#include "sim/deployments.hpp"
+#include "sim/measurement_gen.hpp"
+
+using namespace resloc;
+using resloc::math::Vec2;
+
+namespace {
+
+core::MeasurementSet connectivity(const core::Deployment& d, double range, math::Rng& rng) {
+  core::MeasurementSet meas(d.size());
+  meas.set_node_count(d.size());
+  for (core::NodeId i = 0; i < d.size(); ++i) {
+    for (core::NodeId j = i + 1; j < d.size(); ++j) {
+      const double dist = math::distance(d.positions[i], d.positions[j]);
+      if (dist < range) meas.add(i, j, std::max(0.1, dist + rng.gaussian(0.0, 0.33)));
+    }
+  }
+  return meas;
+}
+
+struct Row {
+  double dv_hop_error;
+  std::size_t dv_hop_localized;
+  double lss_error;
+};
+
+Row run_case(core::Deployment deployment, double range, std::uint64_t seed) {
+  math::Rng rng(seed);
+  const auto meas = connectivity(deployment, range, rng);
+
+  const auto dv = core::localize_dv_hop(deployment, meas, {}, rng);
+  const auto dv_rep = eval::evaluate_localization(dv.result.positions, deployment.positions,
+                                                  false, deployment.anchors);
+
+  // Anchored LSS: both methods get the same anchor knowledge (a chain-like
+  // corridor is rigid only with anchors pinning its arms).
+  core::LssOptions options;
+  options.min_spacing_m = 8.0;
+  options.gd.max_iterations = 5000;
+  options.independent_inits = 16;
+  options.target_stress_per_edge = 0.75;
+  std::vector<std::pair<core::NodeId, Vec2>> anchors;
+  for (core::NodeId a : deployment.anchors) anchors.emplace_back(a, deployment.positions[a]);
+  double best_stress = 1e300;
+  core::LssResult lss;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    auto candidate = core::localize_lss_anchored(meas, anchors, options, rng);
+    if (candidate.stress < best_stress) {
+      best_stress = candidate.stress;
+      lss = std::move(candidate);
+    }
+  }
+  const auto lss_rep = eval::evaluate_localization(lss.positions, deployment.positions, false,
+                                                   deployment.anchors);
+  return {dv_rep.average_error_m, dv_rep.localized, lss_rep.average_error_m};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Ablation A7 -- DV-hop (APS) vs LSS: isotropy sensitivity");
+
+  // Isotropic: the 7x7 offset grid, 6 anchors.
+  auto grid = sim::offset_grid();
+  math::Rng arng(0xAB'71);
+  sim::choose_random_anchors(grid, 6, arng);
+  const Row iso = run_case(grid, 14.0, 0xAB'72);
+
+  // Anisotropic: an L-shaped corridor deployment, anchors at the extremes.
+  core::Deployment l_shape;
+  for (int i = 0; i < 10; ++i) l_shape.positions.push_back(Vec2{i * 9.0, 0.0});
+  for (int i = 1; i < 10; ++i) l_shape.positions.push_back(Vec2{0.0, i * 9.0});
+  for (int i = 1; i < 4; ++i) l_shape.positions.push_back(Vec2{i * 9.0, 9.0});
+  l_shape.anchors = {0, 9, 18, 20};
+  const Row aniso = run_case(l_shape, 19.0, 0xAB'73);
+
+  eval::Table table({"topology", "DV-hop avg err", "DV-hop localized", "LSS avg err"});
+  table.add_row({"offset grid (isotropic)", eval::fmt(iso.dv_hop_error, 2),
+                 std::to_string(iso.dv_hop_localized), eval::fmt(iso.lss_error, 2)});
+  table.add_row({"L-corridor (anisotropic)", eval::fmt(aniso.dv_hop_error, 2),
+                 std::to_string(aniso.dv_hop_localized), eval::fmt(aniso.lss_error, 2)});
+  std::fputs(table.to_string().c_str(), stdout);
+  std::puts(
+      "\npaper claim (Section 2): DV-hop assumes hop counts track straight-line\n"
+      "distance, which holds on uniform isotropic layouts and fails around\n"
+      "corners; LSS consumes actual range measurements and does not care.");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 5: the 7x7 offset grid deployment pattern with 9 m / 10 m spacing
+// between nearest neighbors.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "math/stats.hpp"
+#include "sim/deployments.hpp"
+
+using namespace resloc;
+
+int main() {
+  bench::print_banner("Figure 5 -- offset grid deployment pattern");
+  const auto d = sim::offset_grid();
+  std::printf("nodes: %zu\n\n", d.size());
+
+  // ASCII plot of the layout (y flipped so north is up).
+  const int width = 62;
+  const int height = 32;
+  std::vector<std::string> canvas(height, std::string(width, '.'));
+  for (const auto& p : d.positions) {
+    const int cx = static_cast<int>(p.x / 60.0 * (width - 1));
+    const int cy = (height - 1) - static_cast<int>(p.y / 60.0 * (height - 1));
+    canvas[static_cast<std::size_t>(cy)][static_cast<std::size_t>(cx)] = 'o';
+  }
+  for (const auto& row : canvas) std::puts(row.c_str());
+
+  // Nearest-neighbor spacing statistics.
+  std::vector<double> nearest;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    double best = 1e9;
+    for (std::size_t j = 0; j < d.size(); ++j) {
+      if (i == j) continue;
+      best = std::min(best, math::distance(d.positions[i], d.positions[j]));
+    }
+    nearest.push_back(best);
+  }
+  std::printf("\nnearest-neighbor spacing: min %.2f m, max %.2f m\n",
+              *math::min_value(nearest), *math::max_value(nearest));
+  std::puts("paper (Fig 5): offset grid with 9 m and 10 m spacing between nearest neighbors.");
+  return 0;
+}

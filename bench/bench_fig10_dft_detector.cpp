@@ -1,0 +1,66 @@
+// Figure 10: the sliding-DFT software tone detector (Figure 9 algorithm) on
+// a clean and a noisy capture containing periodic constant-frequency chirps.
+//
+// Paper-reported result: in the noisy case, three of the four chirps are
+// correctly detected with no false positives.
+#include <cstdio>
+
+#include "acoustics/signal_synth.hpp"
+#include "bench_util.hpp"
+#include "eval/report.hpp"
+#include "ranging/dft_detector.hpp"
+
+using namespace resloc;
+
+namespace {
+
+void run_case(const char* name, double noise_stddev, double tone_amplitude,
+              std::uint64_t seed) {
+  acoustics::WaveformSpec spec;
+  spec.tone_frequency_hz = 4000.0;  // fs/4 band of the Figure 9 filter
+  spec.tone_amplitude = tone_amplitude;
+  spec.noise_stddev = noise_stddev;
+  math::Rng rng(seed);
+  const auto chirps = acoustics::periodic_chirps(4, 100, 420, 128);
+  const auto wave = acoustics::synthesize_waveform(spec, chirps, 1900, rng);
+
+  ranging::DftToneDetector detector(4);
+  const auto metric = detector.run(wave);
+  const int found = ranging::DftToneDetector::count_detections(metric);
+
+  double peak = 0.0;
+  for (double m : metric) peak = std::max(peak, m);
+  std::printf("%-18s chirps present: 4   detected: %d   peak metric: %.2e\n", name, found,
+              peak);
+
+  // Compact trace: is the metric positive anywhere inside / outside chirps?
+  std::size_t inside_pos = 0, inside_total = 0, outside_pos = 0, outside_total = 0;
+  for (std::size_t i = 0; i < metric.size(); ++i) {
+    bool inside = false;
+    for (const auto& c : chirps) {
+      if (i >= c.start_sample + 36 && i < c.start_sample + c.length) inside = true;
+    }
+    if (inside) {
+      ++inside_total;
+      if (metric[i] > 0.0) ++inside_pos;
+    } else {
+      ++outside_total;
+      if (metric[i] > 0.0) ++outside_pos;
+    }
+  }
+  std::printf("%-18s positive metric: %.0f %% inside chirps, %.2f %% outside\n", "",
+              100.0 * inside_pos / inside_total, 100.0 * outside_pos / outside_total);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Figure 10 -- sliding-DFT software tone detection");
+  run_case("clean signal:", /*noise=*/0.0, /*amplitude=*/1000.0, 0xF16'10);
+  run_case("noisy signal:", /*noise=*/450.0, /*amplitude=*/1000.0, 0xF16'10);
+  run_case("noise only:", /*noise=*/450.0, /*amplitude=*/0.0, 0xF16'11);
+  std::puts(
+      "\npaper (Fig 10): the filter isolates the chirps in the clean capture;\n"
+      "in the noisy capture 3 of 4 chirps are detected with no false positives.");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 23: evolution of the error function E during minimization, with and
+// without the soft constraint.
+//
+// Paper-reported shape: the constrained error function has *more* (all
+// positive) terms, so its floor is higher, yet it reaches its minimum far
+// sooner; the unconstrained run crawls. We print both traces decimated to a
+// common grid and write the full series to CSV.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/lss.hpp"
+#include "eval/report.hpp"
+#include "sim/deployments.hpp"
+#include "sim/measurement_gen.hpp"
+
+using namespace resloc;
+
+int main() {
+  bench::print_banner("Figure 23 -- stress E vs iteration, with/without constraint");
+  const auto town = sim::town_blocks_59();
+  math::Rng noise_rng(7);
+  const auto measurements = sim::gaussian_measurements(town, {}, noise_rng);
+
+  core::LssOptions base;
+  base.min_spacing_m = 9.0;
+  base.constraint_weight = 10.0;
+  base.gd.max_iterations = 20000;
+  base.gd.record_trace = true;
+  base.independent_inits = 1;  // single run: the trace is the story
+  base.restarts.rounds = 1;
+
+  core::LssOptions unconstrained = base;
+  unconstrained.min_spacing_m.reset();
+
+  math::Rng rng1(0xF16'23);
+  const auto with = core::localize_lss(measurements, base, rng1);
+  math::Rng rng2(0xF16'23);
+  const auto without = core::localize_lss(measurements, unconstrained, rng2);
+
+  eval::Table table({"iteration", "E (constrained)", "E (unconstrained)"});
+  const std::size_t n = std::max(with.error_trace.size(), without.error_trace.size());
+  for (std::size_t i = 0; i < n; i += std::max<std::size_t>(n / 20, 1)) {
+    const double ew = i < with.error_trace.size() ? with.error_trace[i] : with.stress;
+    const double eu = i < without.error_trace.size() ? without.error_trace[i] : without.stress;
+    table.add_row({std::to_string(i), eval::fmt(ew, 1), eval::fmt(eu, 1)});
+  }
+  table.add_row({"final", eval::fmt(with.stress, 1), eval::fmt(without.stress, 1)});
+  std::fputs(table.to_string().c_str(), stdout);
+
+  std::vector<std::vector<double>> rows;
+  for (std::size_t i = 0; i < n; ++i) {
+    rows.push_back({static_cast<double>(i),
+                    i < with.error_trace.size() ? with.error_trace[i] : with.stress,
+                    i < without.error_trace.size() ? without.error_trace[i] : without.stress});
+  }
+  if (eval::write_csv("fig23_error_vs_epoch.csv", {"iter", "constrained", "unconstrained"},
+                      rows)) {
+    std::puts("\nfull traces written to fig23_error_vs_epoch.csv");
+  }
+  std::puts(
+      "paper shape: the constrained trace dives to its minimum quickly; the\n"
+      "unconstrained one decays slowly and stalls above it (its theoretical\n"
+      "floor is lower, since it has fewer positive terms -- yet it never gets\n"
+      "there).");
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Shared helpers for the figure-reproduction bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "eval/report.hpp"
+
+namespace bench {
+
+inline void print_banner(const std::string& title) {
+  std::fputs(resloc::eval::banner(title).c_str(), stdout);
+}
+
+inline void print_compare(const std::string& label, double paper, double ours,
+                          const std::string& unit) {
+  std::puts(resloc::eval::compare_line(label, paper, ours, unit).c_str());
+}
+
+}  // namespace bench

@@ -1,0 +1,71 @@
+#include "acoustics/channel.hpp"
+
+#include <algorithm>
+
+#include "acoustics/propagation.hpp"
+
+namespace resloc::acoustics {
+
+ReceivedWindow receive(const std::vector<Emission>& emissions, double window_start_s,
+                       double window_duration_s, double distance_m, const SpeakerUnit& speaker,
+                       const MicUnit& mic, const EnvironmentProfile& env,
+                       const ChannelJitter& jitter, resloc::math::Rng& rng) {
+  ReceivedWindow window;
+  window.start_s = window_start_s;
+  window.duration_s = window_duration_s;
+  const double window_end = window_start_s + window_duration_s;
+
+  const double direct_snr =
+      snr_db(speaker.effective_db(), distance_m, mic.sensitivity_db, env);
+  const double travel_s = distance_m / env.speed_of_sound_mps;
+
+  for (const Emission& e : emissions) {
+    // Direct path. The audible start carries the speaker's unit-specific
+    // onset offset plus per-chirp power-up jitter (both relative to the
+    // calibrated mean, hence possibly negative). The first `rampup_s` of the
+    // chirp plays below full level while the speaker powers up.
+    const double audible_start = e.start_s + travel_s + speaker.onset_delay_s +
+                                 rng.gaussian(0.0, jitter.actuation_jitter_s);
+    const double audible_end = e.start_s + travel_s + e.duration_s;
+    const double ramp_end = std::min(audible_start + jitter.rampup_s, audible_end);
+    if (audible_end > window_start_s && audible_start < window_end && audible_end > audible_start) {
+      if (ramp_end > audible_start) {
+        window.signals.push_back(
+            {audible_start, ramp_end, direct_snr - jitter.rampup_penalty_db});
+      }
+      if (audible_end > ramp_end) {
+        window.signals.push_back({ramp_end, audible_end, direct_snr});
+      }
+    }
+
+    // Echoes: a Poisson-ish number of delayed, attenuated copies. The delay
+    // is redrawn per chirp, which is exactly why the paper's random inter-
+    // chirp delays decorrelate echo positions across accumulation rounds.
+    double remaining = env.echo_rate;
+    while (remaining > 0.0 && rng.bernoulli(std::min(remaining, 1.0))) {
+      remaining -= 1.0;
+      const double delay = rng.exponential(1.0 / env.echo_delay_mean_s);
+      const double echo_snr = direct_snr - env.echo_attenuation_db + rng.gaussian(0.0, 2.0);
+      const double echo_start = e.start_s + travel_s + delay;
+      const double echo_end = echo_start + e.duration_s;
+      if (echo_end > window_start_s && echo_start < window_end) {
+        window.signals.push_back({echo_start, echo_end, echo_snr});
+      }
+    }
+  }
+
+  // Transient wide-band noise bursts as a Poisson process over the window.
+  if (env.noise_burst_rate_hz > 0.0) {
+    double t = window_start_s + rng.exponential(env.noise_burst_rate_hz);
+    while (t < window_end) {
+      window.bursts.push_back({t, t + env.noise_burst_duration_s});
+      t += rng.exponential(env.noise_burst_rate_hz);
+    }
+  }
+
+  std::sort(window.signals.begin(), window.signals.end(),
+            [](const SignalInterval& a, const SignalInterval& b) { return a.start_s < b.start_s; });
+  return window;
+}
+
+}  // namespace resloc::acoustics

@@ -1,0 +1,60 @@
+#include "acoustics/environment.hpp"
+
+namespace resloc::acoustics {
+
+EnvironmentProfile EnvironmentProfile::grass() {
+  EnvironmentProfile e;
+  e.name = "grass";
+  e.excess_attenuation_db_per_m = 0.9;
+  e.noise_floor_db = 39.0;
+  e.false_positive_rate = 0.012;
+  e.echo_rate = 0.05;  // open field: echoes are rare
+  e.echo_delay_mean_s = 0.03;
+  e.echo_attenuation_db = 15.0;
+  e.noise_burst_rate_hz = 0.08;  // occasional aircraft noise
+  e.noise_burst_duration_s = 0.06;
+  return e;
+}
+
+EnvironmentProfile EnvironmentProfile::pavement() {
+  EnvironmentProfile e;
+  e.name = "pavement";
+  e.excess_attenuation_db_per_m = 0.12;
+  e.noise_floor_db = 41.0;
+  e.false_positive_rate = 0.008;
+  e.echo_rate = 0.15;
+  e.echo_delay_mean_s = 0.02;
+  e.echo_attenuation_db = 14.0;
+  e.noise_burst_rate_hz = 0.02;
+  return e;
+}
+
+EnvironmentProfile EnvironmentProfile::urban() {
+  EnvironmentProfile e;
+  e.name = "urban";
+  e.excess_attenuation_db_per_m = 0.25;
+  e.noise_floor_db = 45.0;
+  e.false_positive_rate = 0.02;
+  e.echo_rate = 0.9;  // nearby buildings: echoes are particularly common
+  e.echo_delay_mean_s = 0.025;
+  e.echo_attenuation_db = 8.0;
+  e.noise_burst_rate_hz = 1.2;  // city noise: frequent transients cause the
+                                // Figure 2 early-firing underestimates
+  e.noise_burst_duration_s = 0.08;
+  return e;
+}
+
+EnvironmentProfile EnvironmentProfile::wooded() {
+  EnvironmentProfile e;
+  e.name = "wooded";
+  e.excess_attenuation_db_per_m = 1.5;
+  e.noise_floor_db = 40.0;
+  e.false_positive_rate = 0.015;
+  e.echo_rate = 0.4;  // scattered trees
+  e.echo_delay_mean_s = 0.015;
+  e.echo_attenuation_db = 10.0;
+  e.noise_burst_rate_hz = 0.1;
+  return e;
+}
+
+}  // namespace resloc::acoustics

@@ -1,0 +1,43 @@
+// Raw waveform synthesis for the software (DFT) tone detector of Section 3.7.
+//
+// Platforms without a hardware tone detector (e.g. the XSM mote) sample the
+// microphone directly; the sliding-DFT filter of Figure 9 then isolates the
+// beacon band. To reproduce Figure 10 ("clean and noisy signals before and
+// after applying the tone detection filter") we synthesize sampled audio:
+// constant-frequency chirps plus Gaussian noise and optional off-band
+// interference tones.
+#pragma once
+
+#include <vector>
+
+#include "math/rng.hpp"
+
+namespace resloc::acoustics {
+
+/// Parameters of a synthesized audio capture.
+struct WaveformSpec {
+  double sample_rate_hz = 16000.0;
+  double tone_frequency_hz = 4000.0;  ///< fs/4, one of the Figure 9 bands
+  double tone_amplitude = 1000.0;     ///< matches the Figure 10 axis scale
+  double noise_stddev = 0.0;          ///< additive white Gaussian noise
+  double interference_frequency_hz = 0.0;  ///< 0 disables the interferer
+  double interference_amplitude = 0.0;
+};
+
+/// A chirp to place in the waveform: [start_sample, start_sample + length).
+struct ChirpPlacement {
+  std::size_t start_sample = 0;
+  std::size_t length = 128;  ///< 8 ms at 16 kHz
+};
+
+/// Synthesizes `num_samples` of audio containing the given chirps.
+std::vector<double> synthesize_waveform(const WaveformSpec& spec,
+                                        const std::vector<ChirpPlacement>& chirps,
+                                        std::size_t num_samples, resloc::math::Rng& rng);
+
+/// Evenly spaced chirp placements: `count` chirps of `length` samples
+/// starting at `first_start`, separated by `period` samples.
+std::vector<ChirpPlacement> periodic_chirps(std::size_t count, std::size_t first_start,
+                                            std::size_t period, std::size_t length);
+
+}  // namespace resloc::acoustics

@@ -1,0 +1,52 @@
+#include "acoustics/tone_detector.hpp"
+
+#include <algorithm>
+
+#include "acoustics/propagation.hpp"
+
+namespace resloc::acoustics {
+
+namespace {
+constexpr double kFaultyMicFalsePositiveRate = 0.15;
+}
+
+ToneDetectorModel::ToneDetectorModel(EnvironmentProfile env, double sample_rate_hz)
+    : env_(std::move(env)), sample_rate_hz_(sample_rate_hz) {}
+
+std::vector<bool> ToneDetectorModel::sample_window(const ReceivedWindow& window,
+                                                   std::size_t num_samples, const MicUnit& mic,
+                                                   resloc::math::Rng& rng) const {
+  std::vector<bool> out(num_samples, false);
+  const double dt = sample_period_s();
+  for (std::size_t i = 0; i < num_samples; ++i) {
+    const double t = window.start_s + static_cast<double>(i) * dt;
+
+    // Strongest tone component audible at t, if any.
+    double best_snr = -1e9;
+    bool tone_present = false;
+    for (const SignalInterval& s : window.signals) {
+      if (t >= s.start_s && t < s.end_s) {
+        tone_present = true;
+        best_snr = std::max(best_snr, s.snr_db);
+      }
+    }
+
+    double p;
+    if (tone_present) {
+      p = detection_probability(best_snr);
+    } else {
+      p = env_.false_positive_rate;
+      for (const NoiseBurst& b : window.bursts) {
+        if (t >= b.start_s && t < b.end_s) {
+          p = env_.noise_burst_false_positive_rate;
+          break;
+        }
+      }
+      if (mic.faulty) p = std::max(p, kFaultyMicFalsePositiveRate);
+    }
+    out[i] = rng.bernoulli(p);
+  }
+  return out;
+}
+
+}  // namespace resloc::acoustics

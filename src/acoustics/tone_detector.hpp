@@ -1,0 +1,38 @@
+// Hardware tone detector model.
+//
+// The MICA sensor board's phase-locked-loop tone detector outputs one bit per
+// sample: "tone in the 4.0-4.5 kHz band present". The paper found it
+// unreliable -- misses under attenuation, false positives from noise -- but
+// with the crucial separation P[b(t)=1 | signal] >> P[b(t)=1 | no signal]
+// (Section 3.5) that the accumulation detector exploits. This model samples
+// that binary process from a ReceivedWindow.
+#pragma once
+
+#include <vector>
+
+#include "acoustics/channel.hpp"
+
+namespace resloc::acoustics {
+
+/// Samples the binary tone-detector output over a received window.
+class ToneDetectorModel {
+ public:
+  /// `sample_rate_hz` is the rate at which the microcontroller polls the
+  /// detector (16 kHz in the paper's experiments).
+  ToneDetectorModel(EnvironmentProfile env, double sample_rate_hz = 16000.0);
+
+  /// Produces `num_samples` binary outputs starting at the window start.
+  /// A faulty microphone suffers persistent elevated false positives
+  /// (Section 3.4, source 3/7).
+  std::vector<bool> sample_window(const ReceivedWindow& window, std::size_t num_samples,
+                                  const MicUnit& mic, resloc::math::Rng& rng) const;
+
+  double sample_rate_hz() const { return sample_rate_hz_; }
+  double sample_period_s() const { return 1.0 / sample_rate_hz_; }
+
+ private:
+  EnvironmentProfile env_;
+  double sample_rate_hz_;
+};
+
+}  // namespace resloc::acoustics

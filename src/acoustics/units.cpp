@@ -1,0 +1,20 @@
+#include "acoustics/units.hpp"
+
+namespace resloc::acoustics {
+
+SpeakerUnit UnitVariationModel::sample_speaker(double nominal_db, resloc::math::Rng& rng) const {
+  SpeakerUnit s;
+  s.output_db = nominal_db + rng.gaussian(0.0, speaker_stddev_db);
+  s.onset_delay_s = rng.gaussian(0.0, onset_delay_stddev_s);
+  s.faulty = rng.bernoulli(fault_probability);
+  return s;
+}
+
+MicUnit UnitVariationModel::sample_mic(resloc::math::Rng& rng) const {
+  MicUnit m;
+  m.sensitivity_db = rng.gaussian(0.0, mic_stddev_db);
+  m.faulty = rng.bernoulli(fault_probability);
+  return m;
+}
+
+}  // namespace resloc::acoustics

@@ -1,0 +1,73 @@
+#include "core/classical_mds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/jacobi_eigen.hpp"
+
+namespace resloc::core {
+
+using resloc::math::Matrix;
+using resloc::math::Vec2;
+
+std::optional<MdsResult> classical_mds(const Matrix& distances) {
+  if (distances.rows() == 0 || distances.rows() != distances.cols()) return std::nullopt;
+  const std::size_t n = distances.rows();
+
+  // Squared distances, double-centered: B = -1/2 J D^2 J.
+  Matrix squared(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      squared(r, c) = distances(r, c) * distances(r, c);
+    }
+  }
+  const Matrix b = squared.double_centered();
+  const auto eigen = resloc::math::jacobi_eigen_decomposition(b);
+
+  MdsResult result;
+  result.eigenvalues = eigen.eigenvalues;
+  result.positions.resize(n);
+  // Coordinates: v_i * sqrt(lambda_i) for the top two eigenpairs.
+  const double l1 = std::max(eigen.eigenvalues.size() > 0 ? eigen.eigenvalues[0] : 0.0, 0.0);
+  const double l2 = std::max(eigen.eigenvalues.size() > 1 ? eigen.eigenvalues[1] : 0.0, 0.0);
+  const double s1 = std::sqrt(l1);
+  const double s2 = std::sqrt(l2);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.positions[i] = Vec2{eigen.eigenvectors(i, 0) * s1, eigen.eigenvectors(i, 1) * s2};
+  }
+
+  double positive_mass = 0.0;
+  for (double l : eigen.eigenvalues) positive_mass += std::max(l, 0.0);
+  result.planarity = positive_mass > 0.0 ? (l1 + l2) / positive_mass : 0.0;
+  return result;
+}
+
+Matrix shortest_path_completion(const MeasurementSet& measurements, double unreachable_value) {
+  const std::size_t n = measurements.node_count();
+  Matrix dist(n, n, unreachable_value);
+  for (std::size_t i = 0; i < n; ++i) dist(i, i) = 0.0;
+  for (const DistanceEdge& e : measurements.edges()) {
+    // Keep the smaller value if duplicate paths disagree.
+    dist(e.i, e.j) = std::min(dist(e.i, e.j), e.distance_m);
+    dist(e.j, e.i) = dist(e.i, e.j);
+  }
+  // Floyd-Warshall.
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double dik = dist(i, k);
+      if (dik >= unreachable_value) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double candidate = dik + dist(k, j);
+        if (candidate < dist(i, j)) dist(i, j) = candidate;
+      }
+    }
+  }
+  return dist;
+}
+
+std::optional<MdsResult> mds_map(const MeasurementSet& measurements) {
+  if (measurements.node_count() == 0) return std::nullopt;
+  return classical_mds(shortest_path_completion(measurements));
+}
+
+}  // namespace resloc::core

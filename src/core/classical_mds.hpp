@@ -1,0 +1,43 @@
+// Classical multidimensional scaling baseline (Section 4.2 background; the
+// approach of [18], [19] the paper contrasts LSS against).
+//
+// Classical MDS double-centers the squared-distance matrix and takes the top
+// two principal components as coordinates. Its "critical requirement is that
+// distances between all pairs of nodes be known a priori"; the MDS-MAP remedy
+// completes a sparse measurement set with shortest-path distances first.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/types.hpp"
+#include "math/matrix.hpp"
+#include "math/vec2.hpp"
+
+namespace resloc::core {
+
+/// Classical MDS output.
+struct MdsResult {
+  std::vector<resloc::math::Vec2> positions;  ///< relative frame
+  std::vector<double> eigenvalues;            ///< descending, all n of them
+  /// Fraction of total (positive) eigenvalue mass captured by the first two
+  /// components; near 1 for genuinely 2-D data.
+  double planarity = 0.0;
+};
+
+/// Classical MDS on a complete distance matrix (n x n, symmetric, zero
+/// diagonal). Returns nullopt when the matrix is not square or is empty.
+std::optional<MdsResult> classical_mds(const resloc::math::Matrix& distances);
+
+/// All-pairs shortest-path completion of a sparse measurement set
+/// (Floyd-Warshall over measured edges). Unreachable pairs are set to
+/// `unreachable_value` (a large value keeps MDS defined but distorted --
+/// exactly the failure mode that motivates LSS). Needs node_count >= 1.
+resloc::math::Matrix shortest_path_completion(const MeasurementSet& measurements,
+                                              double unreachable_value = 1e6);
+
+/// MDS-MAP-style localization: shortest-path completion followed by classical
+/// MDS. Returns nullopt for empty inputs.
+std::optional<MdsResult> mds_map(const MeasurementSet& measurements);
+
+}  // namespace resloc::core

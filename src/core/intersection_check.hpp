@@ -1,0 +1,57 @@
+// Intersection consistency checking for multilateration (Section 4.1.2).
+//
+// Range circles drawn at the anchors should intersect near the node being
+// localized; measurement errors spread the intersection points, but anchors
+// with *consistent* distances still intersect close to one another. The
+// check computes all pairwise circle intersections, finds the dominant
+// cluster, and drops anchors with no intersection point near it (Figure 11's
+// anchor (-170, 700) is the canonical casualty: nearly collinear anchors
+// amplify small range errors into large intersection displacement).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "math/geometry.hpp"
+#include "math/vec2.hpp"
+
+namespace resloc::core {
+
+/// One anchor's contribution to localizing a node.
+struct AnchorObservation {
+  resloc::math::Vec2 position;
+  double distance_m = 0.0;
+  double weight = 1.0;
+};
+
+/// Outcome of the intersection consistency check.
+struct IntersectionCheckResult {
+  /// Indices (into the input observation list) of anchors that survived.
+  std::vector<std::size_t> consistent_anchors;
+  /// All pairwise intersection points considered.
+  std::vector<resloc::math::Vec2> intersection_points;
+  /// Indices (into intersection_points) of the dominant cluster.
+  std::vector<std::size_t> cluster;
+  /// Centroid of the dominant cluster; the "mode of the intersection points"
+  /// position estimate the paper suggests for large anchor counts.
+  resloc::math::Vec2 cluster_centroid;
+};
+
+/// Parameters of the check.
+struct IntersectionCheckOptions {
+  /// Cluster linkage radius ("e.g., beyond 1m range" in the paper).
+  double cluster_radius_m = 1.0;
+  /// Anchors are kept when at least one of their intersection points lies
+  /// within this distance of the dominant cluster.
+  double anchor_keep_radius_m = 1.0;
+  /// Never drop below this many anchors; with fewer consistent anchors than
+  /// this, the check keeps all anchors instead (a caveat the paper notes:
+  /// scarce data can make suspicious measurements worth retaining).
+  std::size_t min_anchors = 3;
+};
+
+/// Runs the intersection consistency check over the anchor observations.
+IntersectionCheckResult check_intersection_consistency(
+    const std::vector<AnchorObservation>& anchors, const IntersectionCheckOptions& options = {});
+
+}  // namespace resloc::core

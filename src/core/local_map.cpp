@@ -1,0 +1,56 @@
+#include "core/local_map.hpp"
+
+#include <algorithm>
+
+namespace resloc::core {
+
+using resloc::math::Vec2;
+
+std::optional<Vec2> LocalMap::coord_of(NodeId id) const {
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (members[i] == id) return coords[i];
+  }
+  return std::nullopt;
+}
+
+std::vector<NodeId> LocalMap::shared_members(const LocalMap& other) const {
+  std::vector<NodeId> shared;
+  for (NodeId m : members) {
+    if (other.coord_of(m).has_value()) shared.push_back(m);
+  }
+  return shared;
+}
+
+LocalMap build_local_map(NodeId owner, const MeasurementSet& measurements,
+                         const LssOptions& options, resloc::math::Rng& rng) {
+  LocalMap map;
+  map.owner = owner;
+  map.members.push_back(owner);
+  for (const auto& [neighbor, dist] : measurements.neighbors(owner)) {
+    (void)dist;
+    map.members.push_back(neighbor);
+  }
+  std::sort(map.members.begin() + 1, map.members.end());
+
+  // Sub-problem over the member set: every measurement among members.
+  MeasurementSet local(map.members.size());
+  local.set_node_count(map.members.size());
+  double max_dist = 1.0;
+  for (std::size_t a = 0; a < map.members.size(); ++a) {
+    for (std::size_t b = a + 1; b < map.members.size(); ++b) {
+      const auto edge = measurements.between(map.members[a], map.members[b]);
+      if (!edge) continue;
+      local.add(static_cast<NodeId>(a), static_cast<NodeId>(b), edge->distance_m, edge->weight);
+      max_dist = std::max(max_dist, edge->distance_m);
+    }
+  }
+
+  LssOptions local_options = options;
+  local_options.init_box_m = 2.0 * max_dist;  // local span, not the whole field
+  const LssResult fit = localize_lss(local, local_options, rng);
+  map.coords = fit.positions;  // local node a <-> members[a], so coords stay parallel
+  map.stress = fit.stress;
+  return map;
+}
+
+}  // namespace resloc::core

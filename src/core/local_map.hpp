@@ -1,0 +1,41 @@
+// Step 1 of the distributed algorithm (Section 4.3.1): local localization.
+//
+// "Each node collects distance measurements to its neighbors as well as
+// amongst them. ... each node uses the LSS localization to find a
+// configuration of itself and its neighbors in a local relative coordinate
+// system."
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/lss.hpp"
+#include "core/types.hpp"
+#include "math/rng.hpp"
+#include "math/vec2.hpp"
+
+namespace resloc::core {
+
+/// A node-centric relative map: the owner and its measurement neighbors with
+/// coordinates in an arbitrary local frame.
+struct LocalMap {
+  NodeId owner = 0;
+  std::vector<NodeId> members;            ///< owner first, then neighbors
+  std::vector<resloc::math::Vec2> coords; ///< parallel to members
+  double stress = 0.0;                    ///< LSS stress of the local fit
+
+  /// Coordinates of `id` in this map, if `id` is a member.
+  std::optional<resloc::math::Vec2> coord_of(NodeId id) const;
+
+  /// Members shared with another map.
+  std::vector<NodeId> shared_members(const LocalMap& other) const;
+};
+
+/// Builds the local map of `owner` from the global measurement set:
+/// membership is owner + direct neighbors; edges are all measurements among
+/// members. The local frame is scaled like the measurements but otherwise
+/// arbitrary.
+LocalMap build_local_map(NodeId owner, const MeasurementSet& measurements,
+                         const LssOptions& options, resloc::math::Rng& rng);
+
+}  // namespace resloc::core

@@ -1,0 +1,166 @@
+#include "core/lss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace resloc::core {
+
+using resloc::math::Vec2;
+
+namespace {
+
+constexpr double kMinSeparation = 1e-9;  // guards the 1/dcomp gradient factor
+
+/// Builds the stress objective over parameters [x_0..x_{n-1}, y_0..y_{n-1}].
+/// `fixed` marks nodes whose gradient entries are zeroed (anchored mode).
+resloc::math::Objective make_stress_objective(const MeasurementSet& measurements,
+                                              const LssOptions& options,
+                                              std::vector<bool> fixed) {
+  const std::size_t n = measurements.node_count();
+  return [&measurements, options, n, fixed = std::move(fixed)](const std::vector<double>& p,
+                                                               std::vector<double>& grad) {
+    for (double& g : grad) g = 0.0;
+    double error = 0.0;
+
+    // Measured-edge term: w_ij (dcomp - d_ij)^2.
+    for (const DistanceEdge& e : measurements.edges()) {
+      const double dx = p[e.i] - p[e.j];
+      const double dy = p[n + e.i] - p[n + e.j];
+      const double dcomp = std::max(std::sqrt(dx * dx + dy * dy), kMinSeparation);
+      const double residual = dcomp - e.distance_m;
+      error += e.weight * residual * residual;
+      const double scale = 2.0 * e.weight * residual / dcomp;
+      grad[e.i] += scale * dx;
+      grad[e.j] -= scale * dx;
+      grad[n + e.i] += scale * dy;
+      grad[n + e.j] -= scale * dy;
+    }
+
+    // Soft minimum-spacing constraint over *unmeasured* pairs placed closer
+    // than d_min: w_D (dcomp - d_min)^2. The active set changes dynamically
+    // as the configuration moves (Section 4.2.1).
+    if (options.min_spacing_m.has_value()) {
+      const double dmin = *options.min_spacing_m;
+      const double dmin_sq = dmin * dmin;
+      const double wd = options.constraint_weight;
+      for (NodeId i = 0; i + 1 < n; ++i) {
+        for (NodeId j = i + 1; j < n; ++j) {
+          const double dx = p[i] - p[j];
+          const double dy = p[n + i] - p[n + j];
+          const double d_sq = dx * dx + dy * dy;
+          if (d_sq >= dmin_sq) continue;       // constraint satisfied
+          if (measurements.has(i, j)) continue;  // measured pairs are exempt
+          const double dcomp = std::max(std::sqrt(d_sq), kMinSeparation);
+          const double residual = dcomp - dmin;
+          error += wd * residual * residual;
+          const double scale = 2.0 * wd * residual / dcomp;
+          grad[i] += scale * dx;
+          grad[j] -= scale * dx;
+          grad[n + i] += scale * dy;
+          grad[n + j] -= scale * dy;
+        }
+      }
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      if (fixed[i]) {
+        grad[i] = 0.0;
+        grad[n + i] = 0.0;
+      }
+    }
+    return error;
+  };
+}
+
+LssResult run(const MeasurementSet& measurements, std::vector<double> initial,
+              std::vector<bool> fixed, const LssOptions& options, resloc::math::Rng& rng) {
+  const std::size_t n = measurements.node_count();
+  const auto objective = make_stress_objective(measurements, options, std::move(fixed));
+  const auto gd_result = resloc::math::minimize_with_restarts(objective, std::move(initial),
+                                                              options.gd, options.restarts, rng);
+  LssResult result;
+  result.positions.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.positions[i] = Vec2{gd_result.x[i], gd_result.x[n + i]};
+  }
+  result.stress = gd_result.error;
+  result.iterations = gd_result.iterations;
+  result.converged = gd_result.converged;
+  result.error_trace = gd_result.error_trace;
+  return result;
+}
+
+}  // namespace
+
+double lss_stress(const MeasurementSet& measurements, const std::vector<Vec2>& positions,
+                  const LssOptions& options) {
+  const std::size_t n = measurements.node_count();
+  std::vector<double> p(2 * n, 0.0);
+  for (std::size_t i = 0; i < n && i < positions.size(); ++i) {
+    p[i] = positions[i].x;
+    p[n + i] = positions[i].y;
+  }
+  std::vector<double> grad(2 * n, 0.0);
+  const auto objective =
+      make_stress_objective(measurements, options, std::vector<bool>(n, false));
+  return objective(p, grad);
+}
+
+LssResult localize_lss(const MeasurementSet& measurements, const LssOptions& options,
+                       resloc::math::Rng& rng) {
+  const std::size_t n = measurements.node_count();
+  const double stress_target =
+      options.target_stress_per_edge > 0.0
+          ? options.target_stress_per_edge * static_cast<double>(std::max<std::size_t>(
+                                                 measurements.edge_count(), 1))
+          : -1.0;
+
+  LssResult best;
+  bool have_best = false;
+  const int attempts = std::max(options.independent_inits, 1);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    std::vector<Vec2> initial(n);
+    for (auto& v : initial) {
+      v = Vec2{rng.uniform(0.0, options.init_box_m), rng.uniform(0.0, options.init_box_m)};
+    }
+    LssResult candidate = localize_lss_from(measurements, std::move(initial), options, rng);
+    if (!have_best || candidate.stress < best.stress) {
+      best = std::move(candidate);
+      have_best = true;
+    }
+    if (stress_target >= 0.0 && best.stress <= stress_target) break;
+  }
+  return best;
+}
+
+LssResult localize_lss_from(const MeasurementSet& measurements, std::vector<Vec2> initial,
+                            const LssOptions& options, resloc::math::Rng& rng) {
+  const std::size_t n = measurements.node_count();
+  std::vector<double> p(2 * n, 0.0);
+  for (std::size_t i = 0; i < n && i < initial.size(); ++i) {
+    p[i] = initial[i].x;
+    p[n + i] = initial[i].y;
+  }
+  return run(measurements, std::move(p), std::vector<bool>(n, false), options, rng);
+}
+
+LssResult localize_lss_anchored(const MeasurementSet& measurements,
+                                const std::vector<std::pair<NodeId, Vec2>>& anchors,
+                                const LssOptions& options, resloc::math::Rng& rng) {
+  const std::size_t n = measurements.node_count();
+  std::vector<double> p(2 * n, 0.0);
+  std::vector<bool> fixed(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = rng.uniform(0.0, options.init_box_m);
+    p[n + i] = rng.uniform(0.0, options.init_box_m);
+  }
+  for (const auto& [id, pos] : anchors) {
+    p[id] = pos.x;
+    p[n + id] = pos.y;
+    fixed[id] = true;
+  }
+  return run(measurements, std::move(p), std::move(fixed), options, rng);
+}
+
+}  // namespace resloc::core

@@ -1,0 +1,74 @@
+// Multilateration localization (Section 4.1).
+//
+// A node with distance measurements to >= 3 non-collinear anchors estimates
+// its position by weighted nonlinear least squares:
+//   argmin_(x,y)  sum_a w(c_a) * (sqrt((x-x_a)^2 + (y-y_a)^2) - d_a)^2
+// solved by gradient descent. The scheme optionally:
+//   - applies the intersection consistency check first (Section 4.1.2),
+//   - localizes progressively, promoting localized nodes to anchors with
+//     down-weighted confidence (Section 4.1.1's proposed modification).
+#pragma once
+
+#include <optional>
+
+#include "core/intersection_check.hpp"
+#include "core/types.hpp"
+#include "math/gradient_descent.hpp"
+#include "math/rng.hpp"
+
+namespace resloc::core {
+
+/// Multilateration configuration.
+struct MultilaterationOptions {
+  /// Minimum anchors with measurements before a node is localized at all.
+  std::size_t min_anchors = 3;
+
+  /// Run the intersection consistency check before minimizing.
+  bool use_intersection_check = false;
+  IntersectionCheckOptions intersection;
+
+  /// Estimate the position as the dominant intersection cluster's centroid
+  /// ("we may take the mode of the intersection points ... instead of
+  /// minimizing the error if the number of anchors is large enough") when at
+  /// least `mode_min_anchors` consistent anchors are available.
+  bool use_intersection_mode_estimate = false;
+  std::size_t mode_min_anchors = 5;
+
+  /// Progressive localization: localized non-anchors become anchors for
+  /// later rounds, with weight scaled by `progressive_weight`. The paper's
+  /// reported experiments use a single round with constant weight 1.
+  bool progressive = false;
+  double progressive_weight = 0.5;
+  int max_progressive_rounds = 10;
+
+  /// Gradient-descent tuning for the position fit.
+  resloc::math::GradientDescentOptions gd{.step_size = 0.05,
+                                          .max_iterations = 2000,
+                                          .relative_tolerance = 1e-12,
+                                          .gradient_tolerance = 1e-9,
+                                          .adaptive = true,
+                                          .record_trace = false};
+  resloc::math::RestartOptions restarts{.rounds = 3, .perturbation_stddev = 2.0};
+};
+
+/// Least-squares position fit against a fixed set of anchor observations.
+/// Returns nullopt when fewer than `min_anchors` observations are given.
+std::optional<resloc::math::Vec2> multilaterate(const std::vector<AnchorObservation>& anchors,
+                                                const MultilaterationOptions& options,
+                                                resloc::math::Rng& rng);
+
+/// Localizes every non-anchor node of the deployment from the measurement
+/// set. Anchor positions are taken from the deployment (anchors "know their
+/// own location"); non-anchor entries of the result hold estimates or nullopt
+/// when the node could not be localized.
+LocalizationResult localize_by_multilateration(const Deployment& deployment,
+                                               const MeasurementSet& measurements,
+                                               const MultilaterationOptions& options,
+                                               resloc::math::Rng& rng);
+
+/// Average number of usable anchors per non-anchor node -- the paper reports
+/// this (1.47 for the sparse grid, 3.84 augmented) as the sparsity diagnostic.
+double average_anchors_per_node(const Deployment& deployment,
+                                const MeasurementSet& measurements);
+
+}  // namespace resloc::core

@@ -1,0 +1,64 @@
+#include "core/types.hpp"
+
+#include <algorithm>
+
+namespace resloc::core {
+
+bool Deployment::is_anchor(NodeId id) const {
+  return std::find(anchors.begin(), anchors.end(), id) != anchors.end();
+}
+
+std::uint64_t MeasurementSet::key(NodeId i, NodeId j) {
+  const NodeId lo = std::min(i, j);
+  const NodeId hi = std::max(i, j);
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+void MeasurementSet::add(NodeId i, NodeId j, double distance_m, double weight) {
+  if (i == j) return;
+  DistanceEdge edge;
+  edge.i = std::min(i, j);
+  edge.j = std::max(i, j);
+  edge.distance_m = distance_m;
+  edge.weight = weight;
+
+  const std::uint64_t k = key(i, j);
+  const auto it = index_.find(k);
+  if (it == index_.end()) {
+    index_[k] = edges_.size();
+    edges_.push_back(edge);
+  } else {
+    edges_[it->second] = edge;
+  }
+  node_count_ = std::max(node_count_, static_cast<std::size_t>(edge.j) + 1);
+}
+
+std::optional<DistanceEdge> MeasurementSet::between(NodeId i, NodeId j) const {
+  const auto it = index_.find(key(i, j));
+  if (it == index_.end()) return std::nullopt;
+  return edges_[it->second];
+}
+
+std::vector<std::pair<NodeId, double>> MeasurementSet::neighbors(NodeId id) const {
+  std::vector<std::pair<NodeId, double>> out;
+  for (const DistanceEdge& e : edges_) {
+    if (e.i == id) out.emplace_back(e.j, e.distance_m);
+    if (e.j == id) out.emplace_back(e.i, e.distance_m);
+  }
+  return out;
+}
+
+double MeasurementSet::average_degree() const {
+  if (node_count_ == 0) return 0.0;
+  return 2.0 * static_cast<double>(edges_.size()) / static_cast<double>(node_count_);
+}
+
+std::size_t LocalizationResult::localized_count() const {
+  std::size_t n = 0;
+  for (const auto& p : positions) {
+    if (p.has_value()) ++n;
+  }
+  return n;
+}
+
+}  // namespace resloc::core

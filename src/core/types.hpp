@@ -1,0 +1,82 @@
+// Shared types of the localization library: deployments, sparse weighted
+// distance measurements, and localization results.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "math/vec2.hpp"
+
+namespace resloc::core {
+
+using NodeId = std::uint32_t;
+
+/// A physical deployment: ground-truth node positions (used by simulation and
+/// evaluation only -- the algorithms never read them) and the anchor subset.
+struct Deployment {
+  std::vector<resloc::math::Vec2> positions;
+  std::vector<NodeId> anchors;  ///< ids of nodes that know their position
+
+  std::size_t size() const { return positions.size(); }
+  bool is_anchor(NodeId id) const;
+};
+
+/// One symmetric distance observation with a confidence weight (the paper's
+/// w_ij; Section 4.2.1 suggests statistical entities such as the standard
+/// deviation of repeated measurements as weights).
+struct DistanceEdge {
+  NodeId i = 0;
+  NodeId j = 0;  ///< i < j always
+  double distance_m = 0.0;
+  double weight = 1.0;
+};
+
+/// A sparse set of symmetric distance measurements -- the D (subset of
+/// D_full) that LSS minimizes over. At most one edge per unordered pair;
+/// re-adding replaces.
+class MeasurementSet {
+ public:
+  MeasurementSet() = default;
+  explicit MeasurementSet(std::size_t node_count) : node_count_(node_count) {}
+
+  /// Adds (or replaces) the measurement between i and j. Grows node_count as
+  /// needed. Self-edges are ignored.
+  void add(NodeId i, NodeId j, double distance_m, double weight = 1.0);
+
+  /// The measurement between i and j, if present.
+  std::optional<DistanceEdge> between(NodeId i, NodeId j) const;
+
+  bool has(NodeId i, NodeId j) const { return between(i, j).has_value(); }
+
+  const std::vector<DistanceEdge>& edges() const { return edges_; }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  std::size_t node_count() const { return node_count_; }
+  void set_node_count(std::size_t n) { node_count_ = std::max(node_count_, n); }
+
+  /// Neighbors of `id`: every node with a measurement to it, with distances.
+  std::vector<std::pair<NodeId, double>> neighbors(NodeId id) const;
+
+  /// Average number of measured edges per node (2|E| / n).
+  double average_degree() const;
+
+ private:
+  static std::uint64_t key(NodeId i, NodeId j);
+
+  std::vector<DistanceEdge> edges_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;  // key -> edge index
+  std::size_t node_count_ = 0;
+};
+
+/// Output of a localization algorithm: estimated position per node, or
+/// nullopt where the algorithm could not localize the node.
+struct LocalizationResult {
+  std::vector<std::optional<resloc::math::Vec2>> positions;
+
+  std::size_t localized_count() const;
+  std::size_t size() const { return positions.size(); }
+};
+
+}  // namespace resloc::core

@@ -1,0 +1,44 @@
+// Plain-text reporting: fixed-width tables, key-value blocks, and CSV dumps
+// used by the bench binaries to print each figure's data series next to the
+// paper's reported values.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace resloc::eval {
+
+/// Simple fixed-width ASCII table builder.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats each double with the given precision.
+  void add_row(const std::vector<double>& row, int precision = 3);
+
+  std::string to_string() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision.
+std::string fmt(double value, int precision = 3);
+
+/// Writes rows as CSV to `path` (best effort; returns false on I/O error).
+bool write_csv(const std::string& path, const std::vector<std::string>& header,
+               const std::vector<std::vector<double>>& rows);
+
+/// Prints a section banner used to delimit bench output.
+std::string banner(const std::string& title);
+
+/// One-line comparison of a paper-reported value against ours.
+std::string compare_line(const std::string& label, double paper_value, double measured_value,
+                         const std::string& unit);
+
+}  // namespace resloc::eval

@@ -1,0 +1,103 @@
+#include "math/gradient_descent.hpp"
+
+#include <cmath>
+
+namespace resloc::math {
+
+namespace {
+
+double inf_norm(const std::vector<double>& v) {
+  double best = 0.0;
+  for (double x : v) best = std::max(best, std::abs(x));
+  return best;
+}
+
+}  // namespace
+
+GradientDescentResult minimize(const Objective& objective, std::vector<double> x0,
+                               const GradientDescentOptions& options) {
+  GradientDescentResult result;
+  const std::size_t n = x0.size();
+  std::vector<double> grad(n, 0.0);
+  std::vector<double> candidate(n, 0.0);
+  std::vector<double> candidate_grad(n, 0.0);
+
+  double error = objective(x0, grad);
+  double step = options.step_size;
+
+  result.x = x0;
+  result.error = error;
+  if (options.record_trace) result.error_trace.push_back(error);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    const double grad_norm = inf_norm(grad);
+    if (grad_norm <= options.gradient_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    for (std::size_t i = 0; i < n; ++i) candidate[i] = result.x[i] - step * grad[i];
+    double candidate_error = objective(candidate, candidate_grad);
+
+    if (options.adaptive) {
+      // Backtrack: shrink the step until the error stops increasing (or the
+      // step collapses, which we treat as convergence).
+      int backtracks = 0;
+      while (candidate_error > error && backtracks < 40) {
+        step *= 0.5;
+        for (std::size_t i = 0; i < n; ++i) candidate[i] = result.x[i] - step * grad[i];
+        candidate_error = objective(candidate, candidate_grad);
+        ++backtracks;
+      }
+      if (candidate_error > error) {
+        result.converged = true;  // no descent direction progress possible
+        break;
+      }
+      if (backtracks == 0) step *= 1.1;  // reward: cautiously grow the step
+    }
+
+    const double improvement = error - candidate_error;
+    result.x.swap(candidate);
+    grad.swap(candidate_grad);
+    error = candidate_error;
+    result.error = error;
+    ++result.iterations;
+    if (options.record_trace) result.error_trace.push_back(error);
+
+    if (improvement >= 0.0 && improvement <= options.relative_tolerance * std::abs(error)) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+GradientDescentResult minimize_with_restarts(const Objective& objective, std::vector<double> x0,
+                                             const GradientDescentOptions& options,
+                                             const RestartOptions& restart, Rng& rng) {
+  GradientDescentResult best;
+  bool have_best = false;
+  std::vector<double> seed = std::move(x0);
+
+  for (int round = 0; round < restart.rounds; ++round) {
+    GradientDescentResult r = minimize(objective, seed, options);
+    if (!have_best || r.error < best.error) {
+      // Keep the longest trace view: append this round's trace to the tail.
+      if (have_best && options.record_trace) {
+        r.error_trace.insert(r.error_trace.begin(), best.error_trace.begin(),
+                             best.error_trace.end());
+      }
+      best = std::move(r);
+      have_best = true;
+    } else if (options.record_trace) {
+      // Record that a round happened without improvement, keeping the best E.
+      best.error_trace.push_back(best.error);
+    }
+    // Perturb the best-so-far configuration as the next seed (Section 4.2.1).
+    seed = best.x;
+    for (double& v : seed) v += rng.gaussian(0.0, restart.perturbation_stddev);
+  }
+  return best;
+}
+
+}  // namespace resloc::math

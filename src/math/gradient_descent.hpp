@@ -1,0 +1,73 @@
+// Gradient-descent minimizer, the numerical engine of both localization
+// schemes in the paper:
+//   - multilateration minimizes the weighted range residual (Section 4.1.1),
+//   - LSS minimizes the (soft-constrained) stress function (Section 4.2.1),
+//     using "[x_{t+1}, y_{t+1}] = [x_t, y_t] - alpha * grad E" (Equation 1)
+//     and restarting "each round of minimization with seed positions obtained
+//     by perturbing the best results so far" to escape local minima.
+//
+// The objective is a callback that fills the gradient and returns the error;
+// this keeps the optimizer reusable across all the different error functions
+// in the reproduction.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "math/rng.hpp"
+
+namespace resloc::math {
+
+/// Objective callback: given parameters x, fill `grad` (already sized like x)
+/// and return the scalar error E(x).
+using Objective = std::function<double(const std::vector<double>& x, std::vector<double>& grad)>;
+
+/// Tuning knobs for a single gradient-descent run.
+struct GradientDescentOptions {
+  /// Initial step size alpha in Equation 1.
+  double step_size = 1e-3;
+  /// Upper bound on iterations for one descent run.
+  int max_iterations = 5000;
+  /// Stop when the error improves by less than this fraction over a window.
+  double relative_tolerance = 1e-9;
+  /// Stop when the gradient inf-norm falls below this.
+  double gradient_tolerance = 1e-9;
+  /// When true, backtrack (halve the step and retry) on steps that increase
+  /// the error, and grow the step slightly on success. Plain fixed-step
+  /// descent diverges easily on the LSS stress surface, so this is on by
+  /// default; turn it off to study the paper's raw update rule.
+  bool adaptive = true;
+  /// Record E after every accepted iteration (for Figure 23 style traces).
+  bool record_trace = false;
+};
+
+/// Outcome of a descent run.
+struct GradientDescentResult {
+  std::vector<double> x;           ///< best parameters found
+  double error = 0.0;              ///< E at x
+  int iterations = 0;              ///< accepted iterations performed
+  bool converged = false;          ///< true if a tolerance triggered the stop
+  std::vector<double> error_trace; ///< per-iteration errors when recorded
+};
+
+/// Runs gradient descent from `x0`.
+GradientDescentResult minimize(const Objective& objective, std::vector<double> x0,
+                               const GradientDescentOptions& options);
+
+/// Options for the restart wrapper.
+struct RestartOptions {
+  /// Number of descent rounds. Round 0 starts from the caller's seed; each
+  /// later round starts from the best-so-far parameters perturbed by
+  /// Gaussian noise of the given standard deviation.
+  int rounds = 5;
+  /// Standard deviation of the perturbation applied between rounds.
+  double perturbation_stddev = 1.0;
+};
+
+/// Repeated descent with perturbation restarts (Section 4.2.1): keeps the
+/// best configuration across rounds and reseeds each round by perturbing it.
+GradientDescentResult minimize_with_restarts(const Objective& objective, std::vector<double> x0,
+                                             const GradientDescentOptions& options,
+                                             const RestartOptions& restart, Rng& rng);
+
+}  // namespace resloc::math

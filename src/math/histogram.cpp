@@ -1,0 +1,62 @@
+#include "math/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace resloc::math {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::add(double value) {
+  ++total_;
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (value >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((value - lo_) / width_);
+  bin = std::min(bin, counts_.size() - 1);  // guard against FP edge at hi_
+  ++counts_[bin];
+}
+
+void Histogram::add_all(const std::vector<double>& values) {
+  for (double v : values) add(v);
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+double Histogram::bin_lower(std::size_t bin) const {
+  return lo_ + static_cast<double>(bin) * width_;
+}
+
+std::size_t Histogram::peak_bin() const {
+  return static_cast<std::size_t>(
+      std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+std::string Histogram::to_ascii(std::size_t max_bar) const {
+  const std::size_t peak = counts_[peak_bin()];
+  std::ostringstream os;
+  if (underflow_ > 0) os << "  < " << lo_ << ": " << underflow_ << "\n";
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::size_t bar =
+        peak == 0 ? 0 : counts_[i] * max_bar / peak;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%9.3f | ", bin_center(i));
+    os << buf << std::string(bar, '#') << ' ' << counts_[i] << "\n";
+  }
+  if (overflow_ > 0) os << "  >= " << hi_ << ": " << overflow_ << "\n";
+  return os.str();
+}
+
+}  // namespace resloc::math

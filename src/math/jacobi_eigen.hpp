@@ -1,0 +1,29 @@
+// Symmetric eigendecomposition via the cyclic Jacobi rotation method.
+//
+// Needed by the classical-MDS baseline (Section 4.2 background; [18], [19]):
+// MDS double-centers the squared-distance matrix and takes the top principal
+// components, i.e. the leading eigenpairs of a symmetric matrix. Jacobi is
+// simple, numerically robust for the modest sizes here (n = node count), and
+// has no external dependencies.
+#pragma once
+
+#include <vector>
+
+#include "math/matrix.hpp"
+
+namespace resloc::math {
+
+/// Eigenvalues (descending) with matching eigenvectors. eigenvectors.col(i)
+/// corresponds to eigenvalues[i]; vectors are orthonormal columns.
+struct EigenDecomposition {
+  std::vector<double> eigenvalues;
+  Matrix eigenvectors;  // n x n, column i = eigenvector i
+};
+
+/// Decomposes a symmetric matrix. Asserts on non-square input; symmetry is
+/// assumed (the strictly lower triangle is read together with the upper).
+/// `tolerance` bounds the final max off-diagonal magnitude.
+EigenDecomposition jacobi_eigen_decomposition(Matrix a, double tolerance = 1e-12,
+                                              int max_sweeps = 100);
+
+}  // namespace resloc::math

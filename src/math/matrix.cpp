@@ -1,0 +1,66 @@
+#include "math/matrix.hpp"
+
+#include <cmath>
+
+namespace resloc::math {
+
+double Matrix::max_off_diagonal() const {
+  double best = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (r == c) continue;
+      best = std::max(best, std::abs((*this)(r, c)));
+    }
+  }
+  return best;
+}
+
+double Matrix::frobenius_norm() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+Matrix Matrix::double_centered() const {
+  assert(rows_ == cols_);
+  const std::size_t n = rows_;
+  if (n == 0) return {};
+
+  std::vector<double> row_mean(n, 0.0);
+  std::vector<double> col_mean(n, 0.0);
+  double total_mean = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      const double v = (*this)(r, c);
+      row_mean[r] += v;
+      col_mean[c] += v;
+      total_mean += v;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    row_mean[i] /= static_cast<double>(n);
+    col_mean[i] /= static_cast<double>(n);
+  }
+  total_mean /= static_cast<double>(n * n);
+
+  Matrix out(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      out(r, c) = -0.5 * ((*this)(r, c) - row_mean[r] - col_mean[c] + total_mean);
+    }
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    os << (r == 0 ? "[" : " ");
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      os << m(r, c) << (c + 1 == m.cols() ? "" : " ");
+    }
+    os << (r + 1 == m.rows() ? "]" : "\n");
+  }
+  return os;
+}
+
+}  // namespace resloc::math

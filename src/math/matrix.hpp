@@ -1,0 +1,124 @@
+// Dense dynamically-sized matrix with the small set of operations the
+// localization algorithms need: products, transposes, symmetric
+// eigendecomposition support (see jacobi_eigen.hpp), and the double-centering
+// step of classical MDS.
+//
+// This is deliberately a minimal, obvious implementation: matrices here are
+// at most a few hundred rows (one per sensor node), so cache-blocking tricks
+// would be noise. Row-major storage.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <ostream>
+#include <vector>
+
+namespace resloc::math {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Creates a `rows` x `cols` matrix filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Creates a matrix from nested initializer lists (row by row).
+  Matrix(std::initializer_list<std::initializer_list<double>> init) {
+    rows_ = init.size();
+    cols_ = rows_ == 0 ? 0 : init.begin()->size();
+    data_.reserve(rows_ * cols_);
+    for (const auto& row : init) {
+      assert(row.size() == cols_ && "ragged initializer");
+      data_.insert(data_.end(), row.begin(), row.end());
+    }
+  }
+
+  /// The n x n identity matrix.
+  static Matrix identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  bool operator==(const Matrix&) const = default;
+
+  Matrix operator+(const Matrix& o) const {
+    assert(same_shape(o));
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] + o.data_[i];
+    return out;
+  }
+
+  Matrix operator-(const Matrix& o) const {
+    assert(same_shape(o));
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] - o.data_[i];
+    return out;
+  }
+
+  Matrix operator*(double s) const {
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] * s;
+    return out;
+  }
+
+  /// Matrix product.
+  Matrix operator*(const Matrix& o) const {
+    assert(cols_ == o.rows_);
+    Matrix out(rows_, o.cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+      for (std::size_t k = 0; k < cols_; ++k) {
+        const double a = (*this)(i, k);
+        if (a == 0.0) continue;
+        for (std::size_t j = 0; j < o.cols_; ++j) {
+          out(i, j) += a * o(k, j);
+        }
+      }
+    }
+    return out;
+  }
+
+  /// Transposed copy.
+  Matrix transposed() const {
+    Matrix out(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+      for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+    return out;
+  }
+
+  /// Largest absolute off-diagonal element; convergence measure for Jacobi.
+  double max_off_diagonal() const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+  /// Applies MDS double centering: B = -1/2 * J * M * J with J = I - 11^T/n.
+  /// `*this` must be square (typically a matrix of squared distances).
+  Matrix double_centered() const;
+
+  bool same_shape(const Matrix& o) const { return rows_ == o.rows_ && cols_ == o.cols_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m);
+
+}  // namespace resloc::math

@@ -1,0 +1,86 @@
+#include "math/procrustes.hpp"
+
+#include <cmath>
+
+namespace resloc::math {
+
+namespace {
+
+/// Error and optimal rotation for one reflection hypothesis.
+/// `reflect` mirrors the centered source across the x-axis before rotating.
+struct Hypothesis {
+  Transform2D transform;
+  double error = 0.0;
+};
+
+Hypothesis fit_hypothesis(const std::vector<Vec2>& src, const std::vector<Vec2>& dst,
+                          Vec2 mu_src, Vec2 mu_dst, bool reflect) {
+  // Covariances between centered target (x, y) and centered, possibly
+  // reflected, source (u, v) -- the paper's Cxu, Cyv, Cxv, Cyu.
+  double cxu = 0.0;
+  double cyv = 0.0;
+  double cxv = 0.0;
+  double cyu = 0.0;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const Vec2 s = src[i] - mu_src;
+    const double u = s.x;
+    const double v = reflect ? -s.y : s.y;
+    const Vec2 d = dst[i] - mu_dst;
+    cxu += d.x * u;
+    cyv += d.y * v;
+    cxv += d.x * v;
+    cyu += d.y * u;
+  }
+
+  // Minimizing column-convention angle: sin t (Cxu+Cyv) + cos t (Cxv-Cyu) = 0
+  // with the minimum at t = atan2(Cyu - Cxv, Cxu + Cyv).
+  const double sin_num = cyu - cxv;
+  const double cos_num = cxu + cyv;
+  const double theta_col =
+      (sin_num == 0.0 && cos_num == 0.0) ? 0.0 : std::atan2(sin_num, cos_num);
+
+  // Convert to the paper's row-vector matrix convention: the matrix form
+  // realizes "reflect across x, then rotate by -theta_matrix", so
+  // theta_matrix = -theta_col for both reflection hypotheses.
+  const Transform2D center = Transform2D::translation(-mu_src);
+  const Transform2D rotate(-theta_col, reflect, {0.0, 0.0});
+  const Transform2D uncenter = Transform2D::translation(mu_dst);
+  Hypothesis h;
+  h.transform = center.then(rotate).then(uncenter);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    h.error += distance_sq(h.transform.apply(src[i]), dst[i]);
+  }
+  return h;
+}
+
+}  // namespace
+
+RigidFit fit_rigid(const std::vector<Vec2>& src, const std::vector<Vec2>& dst,
+                   bool allow_reflection) {
+  RigidFit fit;
+  if (src.empty() || src.size() != dst.size()) return fit;
+
+  Vec2 mu_src;
+  Vec2 mu_dst;
+  for (const auto& p : src) mu_src += p;
+  for (const auto& p : dst) mu_dst += p;
+  mu_src /= static_cast<double>(src.size());
+  mu_dst /= static_cast<double>(dst.size());
+
+  Hypothesis best = fit_hypothesis(src, dst, mu_src, mu_dst, /*reflect=*/false);
+  if (allow_reflection) {
+    const Hypothesis mirrored = fit_hypothesis(src, dst, mu_src, mu_dst, /*reflect=*/true);
+    if (mirrored.error < best.error) best = mirrored;
+  }
+  fit.transform = best.transform;
+  fit.sum_squared_error = best.error;
+  fit.valid = true;
+  return fit;
+}
+
+double fit_rmse(const RigidFit& fit, std::size_t n_points) {
+  if (!fit.valid || n_points == 0) return 0.0;
+  return std::sqrt(fit.sum_squared_error / static_cast<double>(n_points));
+}
+
+}  // namespace resloc::math

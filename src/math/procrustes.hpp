@@ -1,0 +1,40 @@
+// Closed-form rigid alignment of two point sets (orthogonal Procrustes in the
+// plane). Two uses in the reproduction:
+//
+//  1. The paper's "computationally tractable" transform estimation between
+//     two local coordinate systems (Section 4.3.1): translate by the shared
+//     neighbors' center of mass, rotate by the angle solving
+//        [Cxu + Cyv, Cxv - Cyu] . [sin theta, cos theta]^T = 0,
+//     try both reflection factors f = +/-1, keep the lower-error one.
+//
+//  2. Evaluation alignment: the paper reports localization error after the
+//     computed coordinates are "translated, rotated and flipped to achieve a
+//     best-fit match with the actual node coordinates" (Section 4.2.2).
+#pragma once
+
+#include <vector>
+
+#include "math/transform2d.hpp"
+#include "math/vec2.hpp"
+
+namespace resloc::math {
+
+/// Result of a rigid fit.
+struct RigidFit {
+  Transform2D transform;       ///< maps source points onto target points
+  double sum_squared_error = 0.0;  ///< sum of squared residuals after mapping
+  bool valid = false;          ///< false when inputs are empty or mismatched
+};
+
+/// Finds the rigid transform (rotation + translation, optionally reflection)
+/// minimizing sum_i |T(src[i]) - dst[i]|^2. Requires src.size() == dst.size().
+/// With fewer than 2 points the rotation is arbitrary and set to zero
+/// (translation-only fit). Collinear point sets still determine the rotation,
+/// but reflection becomes ambiguous; both hypotheses tie and f = +1 wins.
+RigidFit fit_rigid(const std::vector<Vec2>& src, const std::vector<Vec2>& dst,
+                   bool allow_reflection = true);
+
+/// Root-mean-square residual of a fit over n points (0 when invalid/empty).
+double fit_rmse(const RigidFit& fit, std::size_t n_points);
+
+}  // namespace resloc::math

@@ -1,0 +1,96 @@
+#include "math/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace resloc::math {
+
+namespace {
+constexpr std::uint64_t kMultiplier = 6364136223846793005ULL;
+}  // namespace
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) : state_(0), inc_((stream << 1u) | 1u) {
+  next_u32();
+  state_ += seed;
+  next_u32();
+}
+
+std::uint32_t Rng::next_u32() {
+  const std::uint64_t old = state_;
+  state_ = old * kMultiplier + inc_;
+  const auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+double Rng::uniform() {
+  // 53 random bits -> double in [0, 1).
+  const std::uint64_t hi = next_u32();
+  const std::uint64_t lo = next_u32();
+  const std::uint64_t bits = ((hi << 32) | lo) >> 11;
+  return static_cast<double>(bits) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) {  // full 64-bit range requested
+    return static_cast<std::int64_t>((static_cast<std::uint64_t>(next_u32()) << 32) | next_u32());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = (~0ULL / range) * range;
+  std::uint64_t draw;
+  do {
+    draw = (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+  } while (draw >= limit);
+  return lo + static_cast<std::int64_t>(draw % range);
+}
+
+double Rng::gaussian(double mean, double stddev) {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return mean + stddev * cached_gaussian_;
+  }
+  // Box-Muller: two uniforms -> two independent standard normals.
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+double Rng::exponential(double lambda) {
+  assert(lambda > 0.0);
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -std::log(u) / lambda;
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  assert(k <= n);
+  std::vector<std::size_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = i;
+  shuffle(all);
+  all.resize(k);
+  return all;
+}
+
+Rng Rng::split() {
+  const std::uint64_t seed = (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+  const std::uint64_t stream = (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+  return Rng(seed, stream);
+}
+
+}  // namespace resloc::math

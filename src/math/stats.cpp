@@ -1,0 +1,90 @@
+#include "math/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace resloc::math {
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+double stddev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(v.size()));
+}
+
+std::optional<double> median(std::vector<double> v) {
+  if (v.empty()) return std::nullopt;
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
+  const double upper = v[mid];
+  if (v.size() % 2 == 1) return upper;
+  const double lower = *std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lower + upper);
+}
+
+std::optional<double> binned_mode(const std::vector<double>& v, double bin_width) {
+  if (v.empty() || bin_width <= 0.0) return std::nullopt;
+  std::map<long long, std::size_t> counts;
+  for (double x : v) {
+    const auto bin = static_cast<long long>(std::floor(x / bin_width));
+    ++counts[bin];
+  }
+  long long best_bin = counts.begin()->first;
+  std::size_t best_count = 0;
+  for (const auto& [bin, count] : counts) {
+    if (count > best_count) {  // map iteration order breaks ties toward the lower bin
+      best_count = count;
+      best_bin = bin;
+    }
+  }
+  return (static_cast<double>(best_bin) + 0.5) * bin_width;
+}
+
+std::optional<double> percentile(std::vector<double> v, double p) {
+  if (v.empty()) return std::nullopt;
+  p = std::clamp(p, 0.0, 100.0);
+  std::sort(v.begin(), v.end());
+  if (v.size() == 1) return v[0];
+  const double pos = p / 100.0 * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+double rms(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : v) acc += x * x;
+  return std::sqrt(acc / static_cast<double>(v.size()));
+}
+
+std::optional<double> min_value(const std::vector<double>& v) {
+  if (v.empty()) return std::nullopt;
+  return *std::min_element(v.begin(), v.end());
+}
+
+std::optional<double> max_value(const std::vector<double>& v) {
+  if (v.empty()) return std::nullopt;
+  return *std::max_element(v.begin(), v.end());
+}
+
+double fraction_within(const std::vector<double>& v, double bound) {
+  if (v.empty()) return 0.0;
+  std::size_t n = 0;
+  for (double x : v) {
+    if (std::abs(x) <= bound) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(v.size());
+}
+
+}  // namespace resloc::math

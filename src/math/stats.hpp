@@ -1,0 +1,43 @@
+// Order statistics and summary statistics used by the ranging service's
+// statistical filter (Section 3.5 of the paper: median / mode of repeated
+// measurements) and by the evaluation harness.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace resloc::math {
+
+/// Arithmetic mean. Returns 0 for an empty input.
+double mean(const std::vector<double>& v);
+
+/// Population standard deviation. Returns 0 for fewer than two samples.
+double stddev(const std::vector<double>& v);
+
+/// Median (average of the two central elements for even sizes).
+/// Returns std::nullopt for an empty input.
+std::optional<double> median(std::vector<double> v);
+
+/// Mode of continuous data, computed by binning with the given bin width and
+/// returning the center of the most populated bin. Ties are broken toward the
+/// lower bin. This mirrors the paper's use of the mode as an outlier-resistant
+/// estimate that "needs more measurements to be effective" than the median.
+/// Returns std::nullopt for an empty input or non-positive bin width.
+std::optional<double> binned_mode(const std::vector<double>& v, double bin_width);
+
+/// p-th percentile (0 <= p <= 100) with linear interpolation.
+/// Returns std::nullopt for an empty input.
+std::optional<double> percentile(std::vector<double> v, double p);
+
+/// Root mean square of the input values.
+double rms(const std::vector<double>& v);
+
+/// Minimum / maximum; std::nullopt for an empty input.
+std::optional<double> min_value(const std::vector<double>& v);
+std::optional<double> max_value(const std::vector<double>& v);
+
+/// Fraction of values satisfying |v| <= bound.
+double fraction_within(const std::vector<double>& v, double bound);
+
+}  // namespace resloc::math

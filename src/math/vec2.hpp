@@ -1,0 +1,91 @@
+// 2-D vector type used throughout the localization library.
+//
+// The paper works entirely in the plane (node positions, range circles,
+// rigid transforms), so a small value type with the usual Euclidean
+// operations is the workhorse of every module.
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+namespace resloc::math {
+
+/// A point or displacement in the plane. Plain aggregate; cheap to copy.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+
+  Vec2& operator+=(Vec2 o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  Vec2& operator-=(Vec2 o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  Vec2& operator*=(double s) {
+    x *= s;
+    y *= s;
+    return *this;
+  }
+  Vec2& operator/=(double s) {
+    x /= s;
+    y /= s;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec2&) const = default;
+
+  /// Dot product.
+  constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+
+  /// Z-component of the 3-D cross product (signed parallelogram area).
+  constexpr double cross(Vec2 o) const { return x * o.y - y * o.x; }
+
+  /// Squared Euclidean norm. Prefer over norm() when comparing magnitudes.
+  constexpr double norm_sq() const { return x * x + y * y; }
+
+  /// Euclidean norm.
+  double norm() const { return std::sqrt(norm_sq()); }
+
+  /// Unit vector in the same direction. Undefined for the zero vector.
+  Vec2 normalized() const {
+    const double n = norm();
+    return {x / n, y / n};
+  }
+
+  /// Counter-clockwise rotation by `theta` radians about the origin.
+  Vec2 rotated(double theta) const {
+    const double c = std::cos(theta);
+    const double s = std::sin(theta);
+    return {c * x - s * y, s * x + c * y};
+  }
+
+  /// The vector rotated 90 degrees counter-clockwise.
+  constexpr Vec2 perp() const { return {-y, x}; }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
+
+/// Euclidean distance between two points.
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+/// Squared Euclidean distance between two points.
+constexpr double distance_sq(Vec2 a, Vec2 b) { return (a - b).norm_sq(); }
+
+inline std::ostream& operator<<(std::ostream& os, Vec2 v) {
+  return os << '(' << v.x << ", " << v.y << ')';
+}
+
+}  // namespace resloc::math

@@ -1,0 +1,9 @@
+#include "net/clock.hpp"
+
+namespace resloc::net {
+
+Clock Clock::random(resloc::math::Rng& rng, double max_offset_s, double drift_bound) {
+  return Clock(rng.uniform(0.0, max_offset_s), rng.uniform(-drift_bound, drift_bound));
+}
+
+}  // namespace resloc::net

@@ -1,0 +1,30 @@
+#include "net/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace resloc::net {
+
+void EventQueue::schedule_at(SimTime when, Handler handler) {
+  assert(when >= now_ && "cannot schedule into the past");
+  queue_.push(Event{when, next_seq_++, std::move(handler)});
+}
+
+void EventQueue::schedule_after(SimTime delay, Handler handler) {
+  schedule_at(now_ + delay, std::move(handler));
+}
+
+std::size_t EventQueue::run(SimTime until) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().when <= until) {
+    // Copy out before pop so the handler may schedule further events.
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.when;
+    event.handler();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace resloc::net

@@ -1,0 +1,60 @@
+// Discrete-event simulation core.
+//
+// A minimal but complete event loop: events are (time, sequence, closure)
+// triples executed in time order, with the sequence number breaking ties
+// deterministically in scheduling order. All network behaviour (message
+// delivery, chirp emission, protocol timers) is expressed as events, so the
+// distributed localization algorithm runs against the same causal structure
+// it would see on real motes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace resloc::net {
+
+/// Simulated global (true) time in seconds.
+using SimTime = double;
+
+/// Deterministic time-ordered event executor.
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedules `handler` at absolute time `when` (must not precede now()).
+  void schedule_at(SimTime when, Handler handler);
+
+  /// Schedules `handler` after `delay` seconds from now.
+  void schedule_after(SimTime delay, Handler handler);
+
+  /// Runs events until the queue drains or `until` is passed.
+  /// Returns the number of events executed.
+  std::size_t run(SimTime until = 1e18);
+
+  /// Current simulation time (time of the last executed event).
+  SimTime now() const { return now_; }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace resloc::net

@@ -1,0 +1,62 @@
+#include "ranging/deployment_constraints.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace resloc::ranging {
+
+DistancePrior::DistancePrior(std::vector<double> plausible, double tolerance_m)
+    : plausible_(std::move(plausible)), tolerance_m_(tolerance_m) {
+  std::sort(plausible_.begin(), plausible_.end());
+}
+
+DistancePrior DistancePrior::from_deployment(const resloc::core::Deployment& deployment,
+                                             double max_range_m, double tolerance_m) {
+  std::vector<double> distances;
+  for (std::size_t i = 0; i < deployment.size(); ++i) {
+    for (std::size_t j = i + 1; j < deployment.size(); ++j) {
+      const double d = resloc::math::distance(deployment.positions[i], deployment.positions[j]);
+      if (d <= max_range_m) distances.push_back(d);
+    }
+  }
+  std::sort(distances.begin(), distances.end());
+  // Deduplicate at the tolerance scale: a regular grid has only a handful of
+  // distinct spacings.
+  std::vector<double> unique;
+  for (double d : distances) {
+    if (unique.empty() || d - unique.back() > tolerance_m * 0.5) unique.push_back(d);
+  }
+  return DistancePrior(std::move(unique), tolerance_m);
+}
+
+std::optional<double> DistancePrior::nearest_plausible(double measured_m) const {
+  if (plausible_.empty()) return std::nullopt;
+  const auto it = std::lower_bound(plausible_.begin(), plausible_.end(), measured_m);
+  double best = 1e300;
+  std::optional<double> nearest;
+  if (it != plausible_.end() && std::abs(*it - measured_m) < best) {
+    best = std::abs(*it - measured_m);
+    nearest = *it;
+  }
+  if (it != plausible_.begin() && std::abs(*(it - 1) - measured_m) < best) {
+    best = std::abs(*(it - 1) - measured_m);
+    nearest = *(it - 1);
+  }
+  if (!nearest || best > tolerance_m_) return std::nullopt;
+  return nearest;
+}
+
+std::vector<PairEstimate> apply_distance_prior(std::vector<PairEstimate> pairs,
+                                               const DistancePrior& prior, PriorAction action) {
+  std::vector<PairEstimate> out;
+  out.reserve(pairs.size());
+  for (PairEstimate& pair : pairs) {
+    const auto snapped = prior.nearest_plausible(pair.distance_m);
+    if (!snapped) continue;  // inconsistent with deployment knowledge
+    if (action == PriorAction::kSnap) pair.distance_m = *snapped;
+    out.push_back(pair);
+  }
+  return out;
+}
+
+}  // namespace resloc::ranging

@@ -1,0 +1,60 @@
+// Deployment-constraint filtering (Section 3.5.1).
+//
+// "Some sensor network deployments offer additional information about sensor
+// placement. ... On a regular grid deployment, a set of possible inter-node
+// distances can be deduced from the size and shape of the grid configuration.
+// These data provide additional constraints that consistent ranging
+// measurements should satisfy." The paper leaves this as planned work; this
+// module implements it: measurements are checked against (and optionally
+// snapped to) the finite set of plausible inter-node distances.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/types.hpp"
+#include "ranging/measurement_table.hpp"
+
+namespace resloc::ranging {
+
+/// A deployment-derived distance prior: the finite set of plausible
+/// inter-node distances plus a tolerance.
+class DistancePrior {
+ public:
+  /// `plausible` is the sorted-or-not list of admissible distances;
+  /// `tolerance_m` is the acceptance half-width around each.
+  DistancePrior(std::vector<double> plausible, double tolerance_m);
+
+  /// Builds the prior from a regular grid: every distinct inter-node
+  /// distance of `deployment` up to `max_range_m` (deduplicated at the
+  /// tolerance scale). This is the paper's "deduced from the size and shape
+  /// of the grid configuration".
+  static DistancePrior from_deployment(const resloc::core::Deployment& deployment,
+                                       double max_range_m, double tolerance_m);
+
+  /// The nearest plausible distance, if any lies within the tolerance.
+  std::optional<double> nearest_plausible(double measured_m) const;
+
+  /// True iff the measurement is within tolerance of some plausible distance.
+  bool is_consistent(double measured_m) const { return nearest_plausible(measured_m).has_value(); }
+
+  const std::vector<double>& plausible_distances() const { return plausible_; }
+  double tolerance_m() const { return tolerance_m_; }
+
+ private:
+  std::vector<double> plausible_;  // sorted
+  double tolerance_m_;
+};
+
+/// Filtering policy for applying a prior to pair estimates.
+enum class PriorAction {
+  kReject,  ///< drop measurements inconsistent with the prior
+  kSnap,    ///< replace consistent measurements by the plausible distance;
+            ///< drop inconsistent ones
+};
+
+/// Applies the prior to a set of symmetric pair estimates.
+std::vector<PairEstimate> apply_distance_prior(std::vector<PairEstimate> pairs,
+                                               const DistancePrior& prior, PriorAction action);
+
+}  // namespace resloc::ranging

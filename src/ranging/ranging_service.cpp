@@ -1,0 +1,88 @@
+#include "ranging/ranging_service.hpp"
+
+#include <utility>
+
+namespace resloc::ranging {
+
+namespace {
+/// Baseline detection: the raw tone detector's first sustained firing -- one
+/// chirp, counts are 0/1, and a short 3-of-4 debounce stands in for the
+/// hardware detector's own output latching.
+constexpr DetectionParams kBaselineDetection{/*threshold=*/1, /*window=*/4,
+                                             /*min_detections=*/3};
+}  // namespace
+
+RangingService::RangingService(RangingConfig config)
+    : config_(std::move(config)),
+      window_samples_(window_samples_for_range(config_.max_window_range_m,
+                                               config_.pattern.chirp_duration_s, config_.tdoa)),
+      detector_(config_.environment, config_.tdoa.sample_rate_hz) {}
+
+std::optional<double> RangingService::measure(double true_distance_m,
+                                              const acoustics::SpeakerUnit& speaker,
+                                              const acoustics::MicUnit& mic,
+                                              resloc::math::Rng& rng) const {
+  return measure_with_diagnostics(true_distance_m, speaker, mic, rng).distance_m;
+}
+
+RangingAttempt RangingService::measure_with_diagnostics(double true_distance_m,
+                                                        const acoustics::SpeakerUnit& speaker,
+                                                        const acoustics::MicUnit& mic,
+                                                        resloc::math::Rng& rng) const {
+  RangingAttempt attempt;
+
+  acoustics::ChirpPattern pattern = config_.pattern;
+  if (config_.baseline) pattern.num_chirps = 1;
+
+  const std::vector<double> starts = acoustics::chirp_start_times(pattern, rng);
+  std::vector<acoustics::Emission> emissions;
+  emissions.reserve(starts.size());
+  for (double s : starts) emissions.push_back({s, pattern.chirp_duration_s});
+
+  const double window_duration_s =
+      static_cast<double>(window_samples_) / config_.tdoa.sample_rate_hz;
+  const double calibration_bias_s =
+      config_.tdoa.delta_const_true_s - config_.tdoa.delta_const_calibrated_s;
+
+  // Accumulate the binary detector output over all chirps, each window
+  // aligned by the radio sync of that chirp. Echoes from *earlier* chirps
+  // fall into later windows naturally because every emission is visible to
+  // every window.
+  SignalAccumulator accumulator(window_samples_);
+  for (const acoustics::Emission& emission : emissions) {
+    // Receiver-side estimate of the chirp onset: true start shifted by the
+    // calibration bias plus the per-exchange clock-sync jitter.
+    const double sync_error_s =
+        calibration_bias_s + rng.gaussian(0.0, config_.tdoa.sync_jitter_s);
+    const double window_start_s = emission.start_s - sync_error_s;
+
+    const acoustics::ReceivedWindow received =
+        acoustics::receive(emissions, window_start_s, window_duration_s, true_distance_m,
+                           speaker, mic, config_.environment, config_.channel_jitter, rng);
+    const std::vector<bool> detector_output =
+        detector_.sample_window(received, window_samples_, mic, rng);
+    accumulator.record_chirp(detector_output);
+  }
+
+  const DetectionParams detection = config_.baseline ? kBaselineDetection : config_.detection;
+  const std::vector<std::uint8_t>& samples = accumulator.samples();
+
+  int index = detect_signal(samples, detection, 0);
+  if (!config_.baseline && config_.verify_pattern) {
+    while (index >= 0 &&
+           !verify_preceding_silence(samples, index, config_.silence_gap_samples,
+                                     detection.threshold, config_.silence_max_noisy)) {
+      ++attempt.rejected_detections;
+      index = detect_signal(samples, detection, index + 1);
+    }
+  }
+
+  if (index >= 0) {
+    attempt.detection_index = index;
+    attempt.distance_m = distance_from_detection_index(index, config_.tdoa);
+  }
+  attempt.accumulated = samples;
+  return attempt;
+}
+
+}  // namespace resloc::ranging

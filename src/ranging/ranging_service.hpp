@@ -1,0 +1,89 @@
+// The acoustic ranging service: end-to-end simulation of one ranging sequence
+// between a source (speaker) and a receiver (microphone + tone detector).
+//
+// Two operating modes mirror the paper:
+//   - baseline (Section 3.1/3.3): a single chirp; the receiver takes the
+//     first tone-detector firing as the signal onset. Echoes of earlier
+//     chirps and noise bursts produce the large under/over-estimates of
+//     Figure 2.
+//   - refined (Section 3.5): the pattern's chirps are accumulated into 4-bit
+//     counters aligned by the radio sync message; threshold detection with
+//     the (T, k, m) parameters finds the onset; optionally the preceding-
+//     silence pattern check rejects echo tails.
+//
+// Timing errors injected per chirp: calibration bias (delta_const_true -
+// delta_const_calibrated), clock-sync jitter after MAC timestamping, speaker
+// actuation jitter, and the 16 kHz sampling quantization.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "acoustics/channel.hpp"
+#include "acoustics/chirp_pattern.hpp"
+#include "acoustics/environment.hpp"
+#include "acoustics/tone_detector.hpp"
+#include "acoustics/units.hpp"
+#include "math/rng.hpp"
+#include "ranging/signal_detection.hpp"
+#include "ranging/tdoa.hpp"
+
+namespace resloc::ranging {
+
+/// Full configuration of the ranging service.
+struct RangingConfig {
+  acoustics::EnvironmentProfile environment = acoustics::EnvironmentProfile::grass();
+  acoustics::ChirpPattern pattern;
+  acoustics::ChannelJitter channel_jitter;
+  DetectionParams detection;
+  TdoaParams tdoa;
+
+  /// Sampling window covers acoustic travel up to this range (determines the
+  /// buffer size; Section 3.6.2 ties RAM to this).
+  double max_window_range_m = 40.0;
+
+  /// Baseline mode: one chirp, first-firing detection, no accumulation.
+  bool baseline = false;
+
+  /// Preceding-silence pattern verification (refined mode only).
+  bool verify_pattern = true;
+  int silence_gap_samples = 48;
+  int silence_max_noisy = 2;
+};
+
+/// Diagnostic output of one measurement attempt.
+struct RangingAttempt {
+  std::optional<double> distance_m;      ///< estimate; nullopt = no detection
+  int detection_index = -1;              ///< sample index of the detected onset
+  int rejected_detections = 0;           ///< candidates failing the pattern check
+  std::vector<std::uint8_t> accumulated; ///< post-accumulation counters
+};
+
+/// Simulates ranging sequences for one source/receiver pair.
+class RangingService {
+ public:
+  explicit RangingService(RangingConfig config);
+
+  /// Runs one full ranging sequence at the given true distance and returns
+  /// the distance estimate (nullopt when no signal is detected).
+  std::optional<double> measure(double true_distance_m, const acoustics::SpeakerUnit& speaker,
+                                const acoustics::MicUnit& mic, resloc::math::Rng& rng) const;
+
+  /// Like measure() but returns full diagnostics.
+  RangingAttempt measure_with_diagnostics(double true_distance_m,
+                                          const acoustics::SpeakerUnit& speaker,
+                                          const acoustics::MicUnit& mic,
+                                          resloc::math::Rng& rng) const;
+
+  /// Number of samples in the per-chirp window.
+  std::size_t window_samples() const { return window_samples_; }
+
+  const RangingConfig& config() const { return config_; }
+
+ private:
+  RangingConfig config_;
+  std::size_t window_samples_;
+  acoustics::ToneDetectorModel detector_;
+};
+
+}  // namespace resloc::ranging

@@ -1,0 +1,58 @@
+#include "ranging/signal_detection.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace resloc::ranging {
+
+SignalAccumulator::SignalAccumulator(std::size_t num_samples) : samples_(num_samples, 0) {}
+
+void SignalAccumulator::record_chirp(const std::vector<bool>& detector_output) {
+  assert(detector_output.size() == samples_.size());
+  if (chirps_ >= kMaxChirps) return;  // 4-bit counters are full
+  ++chirps_;
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    if (detector_output[i] && samples_[i] < 15) ++samples_[i];
+  }
+}
+
+int detect_signal(const std::vector<std::uint8_t>& samples, const DetectionParams& params) {
+  return detect_signal(samples, params, 0);
+}
+
+int detect_signal(const std::vector<std::uint8_t>& samples, const DetectionParams& params,
+                  int start_index) {
+  const int n = static_cast<int>(samples.size());
+  const int m = params.window;
+  if (m <= 0 || start_index < 0 || start_index + m > n) return -1;
+
+  const auto qualifies = [&](int i) { return samples[static_cast<std::size_t>(i)] >= params.threshold; };
+
+  // Prime the sliding count over the first window [start_index, start_index + m).
+  int count = 0;
+  for (int i = start_index; i < start_index + m; ++i) {
+    if (qualifies(i)) ++count;
+  }
+  if (count >= params.min_detections && qualifies(start_index)) return start_index;
+
+  // Slide: window [start, start + m).
+  for (int start = start_index + 1; start + m <= n; ++start) {
+    if (qualifies(start - 1)) --count;
+    if (qualifies(start + m - 1)) ++count;
+    if (count >= params.min_detections && qualifies(start)) return start;
+  }
+  return -1;
+}
+
+bool verify_preceding_silence(const std::vector<std::uint8_t>& samples, int index, int gap,
+                              int threshold, int max_noisy) {
+  if (index < 0) return false;
+  const int start = std::max(0, index - gap);
+  int noisy = 0;
+  for (int i = start; i < index; ++i) {
+    if (samples[static_cast<std::size_t>(i)] >= threshold) ++noisy;
+  }
+  return noisy <= max_noisy;
+}
+
+}  // namespace resloc::ranging

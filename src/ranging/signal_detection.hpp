@@ -1,0 +1,76 @@
+// The refined signal detection algorithm of Section 3.5 / Figure 3.
+//
+// record-signal: binary tone-detector outputs from several chirps are added
+// into one buffer, aligned by the radio sync message, "in a manner which
+// amplifies tone detections occurring in the same positions in multiple
+// attempts". The buffer allocates 4 bits per offset, capping accumulation at
+// 15 chirps (Section 3.6.2).
+//
+// detect-signal: threshold detection -- the accumulated count must reach T,
+// and that must happen for at least k of m consecutive samples; the detected
+// signal start is the first sample of the qualifying window.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace resloc::ranging {
+
+/// Detection thresholds used by detect_signal. Defaults are the calibrated
+/// values from the grass experiment (Section 3.6): sums from 10 chirps must
+/// exceed T=2 in at least k=6 of m=32 consecutive samples.
+struct DetectionParams {
+  int threshold = 2;       ///< T: minimum accumulated count per sample
+  int window = 32;         ///< m: consecutive-sample window length
+  int min_detections = 6;  ///< k: qualifying samples required in the window
+};
+
+/// Accumulates binary tone-detector series across chirps (record-signal).
+class SignalAccumulator {
+ public:
+  /// `num_samples` is the per-chirp sampling window length; RAM use is 4 bits
+  /// per sample on the mote, modeled by capping counters at 15.
+  explicit SignalAccumulator(std::size_t num_samples);
+
+  /// Adds one chirp's binary detector output (must be num_samples long).
+  void record_chirp(const std::vector<bool>& detector_output);
+
+  /// Accumulated counts, saturated at the 4-bit maximum.
+  const std::vector<std::uint8_t>& samples() const { return samples_; }
+
+  std::size_t size() const { return samples_.size(); }
+  int chirps_recorded() const { return chirps_; }
+
+  /// Hard cap from the 4-bit-per-offset buffer layout (Section 3.6.2).
+  static constexpr int kMaxChirps = 15;
+
+ private:
+  std::vector<std::uint8_t> samples_;
+  int chirps_ = 0;
+};
+
+/// detect-signal from Figure 3: returns the index of the first sample of the
+/// first window of `params.window` consecutive samples containing at least
+/// `params.min_detections` samples with accumulated count >= params.threshold,
+/// where the window's first sample itself qualifies (it marks the signal
+/// start). Returns -1 if no window qualifies.
+///
+/// (The paper's pseudocode is 1-indexed mote code; this is the 0-indexed
+/// equivalent with the same sliding-count structure.)
+int detect_signal(const std::vector<std::uint8_t>& samples, const DetectionParams& params);
+
+/// detect_signal restricted to windows starting at or after `start_index`;
+/// used to re-scan past a candidate rejected by pattern verification.
+int detect_signal(const std::vector<std::uint8_t>& samples, const DetectionParams& params,
+                  int start_index);
+
+/// Pattern verification (Section 3.5): the emitted pattern is chirps preceded
+/// by silence, so a genuine detection at `index` must be preceded by a quiet
+/// gap. Returns true when the `gap` samples before `index` contain fewer than
+/// `max_noisy` samples meeting the threshold. Detections failing this are
+/// echo tails or noise (false detections "due to noise or echoes that are not
+/// part of the pattern").
+bool verify_preceding_silence(const std::vector<std::uint8_t>& samples, int index, int gap,
+                              int threshold, int max_noisy);
+
+}  // namespace resloc::ranging

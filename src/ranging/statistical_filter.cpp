@@ -1,0 +1,28 @@
+#include "ranging/statistical_filter.hpp"
+
+#include "math/stats.hpp"
+
+namespace resloc::ranging {
+
+std::optional<double> filter_measurements(std::vector<double> measurements,
+                                          const FilterPolicy& policy) {
+  if (measurements.empty()) return std::nullopt;
+  if (policy.max_samples > 0 && measurements.size() > policy.max_samples) {
+    measurements.resize(policy.max_samples);
+  }
+
+  FilterKind kind = policy.kind;
+  if (kind == FilterKind::kAuto) {
+    kind = measurements.size() >= policy.mode_min_samples ? FilterKind::kMode
+                                                          : FilterKind::kMedian;
+  }
+  switch (kind) {
+    case FilterKind::kMode:
+      return resloc::math::binned_mode(measurements, policy.mode_bin_width_m);
+    case FilterKind::kMedian:
+    default:
+      return resloc::math::median(std::move(measurements));
+  }
+}
+
+}  // namespace resloc::ranging

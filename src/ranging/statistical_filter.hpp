@@ -1,0 +1,43 @@
+// Statistical filtering of repeated range measurements (Section 3.5).
+//
+// "Assuming that the errors are not correlated, we make multiple distance
+// measurements for a pair of nodes and apply statistical filtering ...
+// Depending on the number of measurements, we take the median or mode value
+// of the measurements, which limits the effect of outliers. The mode
+// operation is more resistant ... but it needs more measurements to be
+// effective."
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace resloc::ranging {
+
+/// Which robust estimate to apply to a pair's repeated measurements.
+enum class FilterKind {
+  kMedian,
+  kMode,
+  /// The paper's adaptive policy: mode when enough measurements are
+  /// available to make it meaningful, median otherwise.
+  kAuto,
+};
+
+/// Statistical filter configuration.
+struct FilterPolicy {
+  FilterKind kind = FilterKind::kAuto;
+  /// Bin width (meters) used by the mode estimate; chirp-quantization noise
+  /// is a few cm, so decimeter bins group true-distance detections.
+  double mode_bin_width_m = 0.25;
+  /// Minimum sample count before kAuto switches from median to mode.
+  std::size_t mode_min_samples = 7;
+  /// Cap on how many measurements are used (earliest first); the paper's
+  /// Figure 4 uses "median filtering of up to five measurements".
+  std::size_t max_samples = 0;  ///< 0 = use all
+};
+
+/// Applies the policy to one pair's measurement list. Returns std::nullopt
+/// when the list is empty.
+std::optional<double> filter_measurements(std::vector<double> measurements,
+                                          const FilterPolicy& policy);
+
+}  // namespace resloc::ranging

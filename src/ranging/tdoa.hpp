@@ -1,0 +1,52 @@
+// TDoA arithmetic (Section 3.1).
+//
+// The distance between source i and destination j is computed from quantities
+// local to j:
+//     d_ij = Vs * (t_detect - (t_recv - delta_xmit) - delta_const)
+// where t_recv is the radio message arrival on j's clock, delta_xmit the
+// (estimated) nondeterministic radio delay, and delta_const the calibrated
+// constant lag between the radio message and the chirp plus sensing/actuation
+// delays. With MAC-layer timestamping the sync error is microseconds; the
+// dominant quantization is the 16 kHz detector sampling rate (~2.1 cm per
+// sample at 340 m/s).
+#pragma once
+
+#include <cstddef>
+
+namespace resloc::ranging {
+
+/// Timing parameters of the ranging exchange.
+struct TdoaParams {
+  double speed_of_sound_mps = 340.0;
+  /// Sampling rate of the tone detector polling loop.
+  double sample_rate_hz = 16000.0;
+  /// True constant delay between radio message and audible chirp onset
+  /// (scheduled chirp lag + mean sensing/actuation delay).
+  double delta_const_true_s = 0.030;
+  /// The receiver's calibrated estimate of delta_const. A miscalibration of
+  /// ~0.3-0.6 ms reproduces the paper's "constant offset of 10-20 cm ... added
+  /// to every ranging measurement" without environment calibration.
+  double delta_const_calibrated_s = 0.030;
+  /// Std-dev of the residual clock-sync error after MAC timestamping.
+  double sync_jitter_s = 5e-6;
+};
+
+/// Converts a detection sample index (relative to the radio-synchronized
+/// window start, which the receiver places at its calibrated estimate of the
+/// distance-zero chirp onset) into a distance estimate: d = Vs * index / fs.
+/// Calibration bias (delta_const_true - delta_const_calibrated) and sync
+/// jitter shift where the signal lands within the window; they are injected
+/// by the channel simulation, not the decoder.
+double distance_from_detection_index(int index, const TdoaParams& params);
+
+/// Inverse of distance_from_detection_index: the sample index at which the
+/// direct signal from `distance_m` away begins (floor; the detector can only
+/// fire at whole sample ticks).
+int detection_index_for_distance(double distance_m, const TdoaParams& params);
+
+/// Number of window samples needed to observe distances up to `max_range_m`
+/// plus a full chirp of `chirp_duration_s`.
+std::size_t window_samples_for_range(double max_range_m, double chirp_duration_s,
+                                     const TdoaParams& params);
+
+}  // namespace resloc::ranging

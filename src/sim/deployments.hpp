@@ -1,0 +1,44 @@
+// Deployment generators for the paper's experiment geometries.
+#pragma once
+
+#include <cstddef>
+
+#include "core/types.hpp"
+#include "math/rng.hpp"
+
+namespace resloc::sim {
+
+/// The 7x7 offset grid of Figure 5: columns 9 m apart; nodes within a column
+/// 9 m apart; alternate columns vertically offset by 4.5 m, making
+/// nearest-neighbor spacings 9 m (in-column) and ~10 m (cross-column).
+/// Coordinates land on multiples of (9, 4.5), matching the node ids quoted in
+/// the paper's discussion ((0,4.5), (18,13.5), (27,36), ...).
+resloc::core::Deployment offset_grid(std::size_t columns = 7, std::size_t rows = 7,
+                                     double column_spacing_m = 9.0, double row_spacing_m = 9.0,
+                                     double offset_m = 4.5);
+
+/// Offset grid with `drop_count` randomly removed nodes (field experiments
+/// ran with 46/47 of the 49 grid positions; some motes fail to report).
+resloc::core::Deployment offset_grid_with_failures(std::size_t drop_count,
+                                                   resloc::math::Rng& rng);
+
+/// Uniform random deployment over a width x height field with a minimum
+/// spacing (rejection sampling).
+resloc::core::Deployment random_uniform(std::size_t count, double width_m, double height_m,
+                                        double min_spacing_m, resloc::math::Rng& rng);
+
+/// The 59 "plausible node positions in a map of a few city blocks in a small
+/// town" (Figures 20-22): nodes along the street edges of a 3x2 block grid,
+/// deterministic jitter. Constructed so the number of node pairs closer than
+/// 22 m is near the paper's 945.
+resloc::core::Deployment town_blocks_59();
+
+/// The 15-node parking-lot deployment of Figure 12 (25 x 25 m), first 5 ids
+/// are the anchors (the 5 loudspeaker-fitted boards).
+resloc::core::Deployment parking_lot_15();
+
+/// Selects `count` random anchors among the deployment's nodes (in place).
+void choose_random_anchors(resloc::core::Deployment& deployment, std::size_t count,
+                           resloc::math::Rng& rng);
+
+}  // namespace resloc::sim

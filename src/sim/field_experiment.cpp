@@ -1,0 +1,78 @@
+#include "sim/field_experiment.hpp"
+
+namespace resloc::sim {
+
+using resloc::core::MeasurementSet;
+using resloc::core::NodeId;
+
+MeasurementSet FieldExperimentData::to_measurement_set(std::size_t node_count) const {
+  MeasurementSet set(node_count);
+  set.set_node_count(node_count);
+  for (const auto& pair : filtered) {
+    set.add(pair.a, pair.b, pair.distance_m, /*weight=*/1.0);
+  }
+  return set;
+}
+
+std::vector<double> FieldExperimentData::raw_errors() const {
+  std::vector<double> errors;
+  errors.reserve(samples.size());
+  for (const auto& s : samples) errors.push_back(s.measured_m - s.true_distance_m);
+  return errors;
+}
+
+FieldExperimentData run_field_experiment(const resloc::core::Deployment& deployment,
+                                         const FieldExperimentConfig& config,
+                                         resloc::math::Rng& rng) {
+  FieldExperimentData data;
+  const std::size_t n = deployment.size();
+
+  // Each node's physical units are drawn once for the whole campaign.
+  std::vector<resloc::acoustics::SpeakerUnit> speakers;
+  std::vector<resloc::acoustics::MicUnit> mics;
+  speakers.reserve(n);
+  mics.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    speakers.push_back(config.units.sample_speaker(config.nominal_speaker_db, rng));
+    mics.push_back(config.units.sample_mic(rng));
+  }
+
+  const resloc::ranging::RangingService service(config.ranging);
+
+  // Symmetric per-link shadowing, drawn once per campaign: the acoustic path
+  // i<->j is the same grass in both directions.
+  std::vector<double> shadowing(n * n, 0.0);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = static_cast<NodeId>(i + 1); j < n; ++j) {
+      const double s = rng.gaussian(0.0, config.link_shadowing_stddev_db);
+      shadowing[i * n + j] = s;
+      shadowing[j * n + i] = s;
+    }
+  }
+
+  for (int round = 0; round < config.rounds; ++round) {
+    for (NodeId source = 0; source < n; ++source) {
+      for (NodeId receiver = 0; receiver < n; ++receiver) {
+        if (receiver == source) continue;
+        const double true_d =
+            resloc::math::distance(deployment.positions[source], deployment.positions[receiver]);
+        if (true_d > config.simulate_within_m) continue;
+
+        // Shadowing is applied as a reduction of the effective source level.
+        resloc::acoustics::SpeakerUnit speaker = speakers[source];
+        speaker.output_db += shadowing[source * n + receiver];
+
+        const auto estimate = service.measure(true_d, speaker, mics[receiver], rng);
+        if (!estimate) continue;
+        data.raw.add(source, receiver, *estimate);
+        data.samples.push_back({source, receiver, true_d, *estimate});
+      }
+    }
+  }
+
+  data.filtered =
+      data.raw.symmetric_estimates(config.filter, config.bidirectional_tolerance_m);
+  return data;
+}
+
+}  // namespace resloc::sim

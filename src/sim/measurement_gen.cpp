@@ -1,0 +1,82 @@
+#include "sim/measurement_gen.hpp"
+
+#include <algorithm>
+
+namespace resloc::sim {
+
+using resloc::core::Deployment;
+using resloc::core::MeasurementSet;
+using resloc::core::NodeId;
+
+MeasurementSet perfect_measurements(const Deployment& deployment, double max_range_m) {
+  MeasurementSet set(deployment.size());
+  set.set_node_count(deployment.size());
+  for (NodeId i = 0; i < deployment.size(); ++i) {
+    for (NodeId j = i + 1; j < deployment.size(); ++j) {
+      const double d = resloc::math::distance(deployment.positions[i], deployment.positions[j]);
+      if (d < max_range_m) set.add(i, j, d);
+    }
+  }
+  return set;
+}
+
+MeasurementSet gaussian_measurements(const Deployment& deployment,
+                                     const GaussianNoiseModel& noise, resloc::math::Rng& rng) {
+  MeasurementSet set(deployment.size());
+  set.set_node_count(deployment.size());
+  for (NodeId i = 0; i < deployment.size(); ++i) {
+    for (NodeId j = i + 1; j < deployment.size(); ++j) {
+      const double d = resloc::math::distance(deployment.positions[i], deployment.positions[j]);
+      if (d >= noise.max_range_m) continue;
+      set.add(i, j, std::max(0.05, d + rng.gaussian(0.0, noise.sigma_m)));
+    }
+  }
+  return set;
+}
+
+std::size_t augment_with_gaussian(MeasurementSet& measurements, const Deployment& deployment,
+                                  const GaussianNoiseModel& noise, resloc::math::Rng& rng,
+                                  std::size_t max_added) {
+  measurements.set_node_count(deployment.size());
+  std::vector<std::pair<NodeId, NodeId>> candidates;
+  for (NodeId i = 0; i < deployment.size(); ++i) {
+    for (NodeId j = i + 1; j < deployment.size(); ++j) {
+      if (measurements.has(i, j)) continue;
+      const double d = resloc::math::distance(deployment.positions[i], deployment.positions[j]);
+      if (d < noise.max_range_m) candidates.emplace_back(i, j);
+    }
+  }
+  rng.shuffle(candidates);
+  std::size_t added = 0;
+  for (const auto& [i, j] : candidates) {
+    if (max_added > 0 && added >= max_added) break;
+    const double d = resloc::math::distance(deployment.positions[i], deployment.positions[j]);
+    measurements.add(i, j, std::max(0.05, d + rng.gaussian(0.0, noise.sigma_m)));
+    ++added;
+  }
+  return added;
+}
+
+MeasurementSet subsample_edges(const MeasurementSet& measurements, std::size_t count,
+                               resloc::math::Rng& rng) {
+  MeasurementSet out(measurements.node_count());
+  out.set_node_count(measurements.node_count());
+  auto edges = measurements.edges();
+  rng.shuffle(edges);
+  if (edges.size() > count) edges.resize(count);
+  for (const auto& e : edges) out.add(e.i, e.j, e.distance_m, e.weight);
+  return out;
+}
+
+void inject_outliers(MeasurementSet& measurements, double fraction, double magnitude_sigma_m,
+                     resloc::math::Rng& rng) {
+  const auto edges = measurements.edges();  // copy: add() mutates storage
+  for (const auto& e : edges) {
+    if (!rng.bernoulli(fraction)) continue;
+    const double corrupted =
+        std::max(0.3, e.distance_m + rng.gaussian(0.0, magnitude_sigma_m));
+    measurements.add(e.i, e.j, corrupted, e.weight);
+  }
+}
+
+}  // namespace resloc::sim

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "core/types.hpp"
+
+namespace {
+
+using namespace resloc::core;
+
+TEST(MeasurementSet, AddAndLookup) {
+  MeasurementSet set;
+  set.add(3, 1, 7.5, 2.0);
+  const auto edge = set.between(1, 3);
+  ASSERT_TRUE(edge.has_value());
+  EXPECT_EQ(edge->i, 1u);  // normalized ordering
+  EXPECT_EQ(edge->j, 3u);
+  EXPECT_DOUBLE_EQ(edge->distance_m, 7.5);
+  EXPECT_DOUBLE_EQ(edge->weight, 2.0);
+  EXPECT_TRUE(set.has(3, 1));
+  EXPECT_FALSE(set.has(1, 2));
+  EXPECT_EQ(set.node_count(), 4u);
+}
+
+TEST(MeasurementSet, ReplacesDuplicates) {
+  MeasurementSet set;
+  set.add(0, 1, 5.0);
+  set.add(1, 0, 6.0);
+  EXPECT_EQ(set.edge_count(), 1u);
+  EXPECT_DOUBLE_EQ(set.between(0, 1)->distance_m, 6.0);
+}
+
+TEST(MeasurementSet, IgnoresSelfEdges) {
+  MeasurementSet set;
+  set.add(2, 2, 1.0);
+  EXPECT_EQ(set.edge_count(), 0u);
+}
+
+TEST(MeasurementSet, Neighbors) {
+  MeasurementSet set;
+  set.add(0, 1, 5.0);
+  set.add(0, 2, 6.0);
+  set.add(1, 2, 7.0);
+  const auto n0 = set.neighbors(0);
+  EXPECT_EQ(n0.size(), 2u);
+  const auto n3 = set.neighbors(3);
+  EXPECT_TRUE(n3.empty());
+}
+
+TEST(MeasurementSet, AverageDegree) {
+  MeasurementSet set(4);
+  set.add(0, 1, 1.0);
+  set.add(2, 3, 1.0);
+  EXPECT_DOUBLE_EQ(set.average_degree(), 1.0);  // 2*2/4
+}
+
+TEST(MeasurementSet, NodeCountGrowsAndPersists) {
+  MeasurementSet set;
+  EXPECT_EQ(set.node_count(), 0u);
+  set.set_node_count(10);
+  set.add(0, 1, 1.0);
+  EXPECT_EQ(set.node_count(), 10u);
+  set.add(0, 20, 1.0);
+  EXPECT_EQ(set.node_count(), 21u);
+}
+
+TEST(Deployment, AnchorMembership) {
+  Deployment d;
+  d.positions = {{0.0, 0.0}, {1.0, 0.0}, {2.0, 0.0}};
+  d.anchors = {0, 2};
+  EXPECT_TRUE(d.is_anchor(0));
+  EXPECT_FALSE(d.is_anchor(1));
+  EXPECT_TRUE(d.is_anchor(2));
+  EXPECT_EQ(d.size(), 3u);
+}
+
+TEST(LocalizationResult, LocalizedCount) {
+  LocalizationResult r;
+  r.positions = {resloc::math::Vec2{0.0, 0.0}, std::nullopt, resloc::math::Vec2{1.0, 1.0}};
+  EXPECT_EQ(r.localized_count(), 2u);
+  EXPECT_EQ(r.size(), 3u);
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "math/procrustes.hpp"
+#include "math/rng.hpp"
+
+namespace {
+
+using resloc::math::fit_rigid;
+using resloc::math::Rng;
+using resloc::math::Transform2D;
+using resloc::math::Vec2;
+
+std::vector<Vec2> sample_points(Rng& rng, std::size_t n) {
+  std::vector<Vec2> points;
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back({rng.uniform(-20.0, 20.0), rng.uniform(-20.0, 20.0)});
+  }
+  return points;
+}
+
+TEST(Procrustes, RecoversPureTranslation) {
+  const std::vector<Vec2> src{{0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}};
+  std::vector<Vec2> dst;
+  for (const Vec2& p : src) dst.push_back(p + Vec2{5.0, -2.0});
+  const auto fit = fit_rigid(src, dst);
+  ASSERT_TRUE(fit.valid);
+  EXPECT_NEAR(fit.sum_squared_error, 0.0, 1e-18);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    EXPECT_NEAR(resloc::math::distance(fit.transform.apply(src[i]), dst[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(Procrustes, EmptyOrMismatchedInputsInvalid) {
+  EXPECT_FALSE(fit_rigid({}, {}).valid);
+  EXPECT_FALSE(fit_rigid({{1.0, 2.0}}, {}).valid);
+  EXPECT_FALSE(fit_rigid({{1.0, 2.0}}, {{0.0, 0.0}, {1.0, 1.0}}).valid);
+}
+
+TEST(Procrustes, SinglePointIsTranslationOnly) {
+  const auto fit = fit_rigid({{1.0, 1.0}}, {{4.0, 5.0}});
+  ASSERT_TRUE(fit.valid);
+  EXPECT_NEAR(fit.sum_squared_error, 0.0, 1e-18);
+  const Vec2 mapped = fit.transform.apply({1.0, 1.0});
+  EXPECT_NEAR(mapped.x, 4.0, 1e-12);
+  EXPECT_NEAR(mapped.y, 5.0, 1e-12);
+}
+
+TEST(Procrustes, ReflectionDetectedWhenAllowed) {
+  const std::vector<Vec2> src{{0.0, 0.0}, {2.0, 0.0}, {0.0, 3.0}};
+  std::vector<Vec2> dst;
+  for (const Vec2& p : src) dst.push_back({p.x, -p.y});  // mirror
+  const auto with = fit_rigid(src, dst, /*allow_reflection=*/true);
+  ASSERT_TRUE(with.valid);
+  EXPECT_TRUE(with.transform.reflected());
+  EXPECT_NEAR(with.sum_squared_error, 0.0, 1e-16);
+
+  const auto without = fit_rigid(src, dst, /*allow_reflection=*/false);
+  ASSERT_TRUE(without.valid);
+  EXPECT_FALSE(without.transform.reflected());
+  EXPECT_GT(without.sum_squared_error, 1.0);  // mirror cannot be matched
+}
+
+TEST(Procrustes, RmseHelper) {
+  resloc::math::RigidFit fit;
+  EXPECT_DOUBLE_EQ(resloc::math::fit_rmse(fit, 4), 0.0);  // invalid fit
+  fit.valid = true;
+  fit.sum_squared_error = 16.0;
+  EXPECT_DOUBLE_EQ(resloc::math::fit_rmse(fit, 4), 2.0);
+  EXPECT_DOUBLE_EQ(resloc::math::fit_rmse(fit, 0), 0.0);
+}
+
+/// Property sweep: a random rigid motion of a random point cloud must be
+/// recovered exactly (zero residual), reflected or not.
+class ProcrustesRecovery : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(ProcrustesRecovery, RecoversRandomRigidMotion) {
+  const auto [seed, reflect] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 7919 + 13);
+  const auto src = sample_points(rng, 3 + static_cast<std::size_t>(seed) % 10);
+
+  const Transform2D motion(rng.uniform(-3.14, 3.14), reflect,
+                           {rng.uniform(-50.0, 50.0), rng.uniform(-50.0, 50.0)});
+  std::vector<Vec2> dst;
+  for (const Vec2& p : src) dst.push_back(motion.apply(p));
+
+  const auto fit = fit_rigid(src, dst, /*allow_reflection=*/true);
+  ASSERT_TRUE(fit.valid);
+  EXPECT_NEAR(fit.sum_squared_error, 0.0, 1e-12);
+  EXPECT_EQ(fit.transform.reflected(), reflect);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    EXPECT_NEAR(resloc::math::distance(fit.transform.apply(src[i]), dst[i]), 0.0, 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMotions, ProcrustesRecovery,
+                         ::testing::Combine(::testing::Range(0, 12),
+                                            ::testing::Bool()));
+
+/// With noise, the fit residual must not exceed the noise magnitude by much,
+/// and must beat the naive un-aligned residual.
+TEST(Procrustes, NoisyFitBeatsNoAlignment) {
+  Rng rng(555);
+  const auto src = sample_points(rng, 20);
+  const Transform2D motion(1.2, false, {30.0, -10.0});
+  std::vector<Vec2> dst;
+  for (const Vec2& p : src) {
+    dst.push_back(motion.apply(p) + Vec2{rng.gaussian(0.0, 0.1), rng.gaussian(0.0, 0.1)});
+  }
+  const auto fit = fit_rigid(src, dst);
+  ASSERT_TRUE(fit.valid);
+  const double rmse = resloc::math::fit_rmse(fit, src.size());
+  EXPECT_LT(rmse, 0.3);
+
+  double unaligned = 0.0;
+  for (std::size_t i = 0; i < src.size(); ++i) unaligned += resloc::math::distance_sq(src[i], dst[i]);
+  EXPECT_LT(fit.sum_squared_error, unaligned);
+}
+
+}  // namespace

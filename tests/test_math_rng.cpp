@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "math/rng.hpp"
+#include "math/stats.hpp"
+
+namespace {
+
+using resloc::math::Rng;
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u32(), b.next_u32());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u32() == b.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  std::vector<double> draws;
+  for (int i = 0; i < 20000; ++i) draws.push_back(rng.uniform());
+  EXPECT_NEAR(resloc::math::mean(draws), 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values hit
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(15);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(7, 7), 7);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(17);
+  std::vector<double> draws;
+  for (int i = 0; i < 50000; ++i) draws.push_back(rng.gaussian(2.0, 3.0));
+  EXPECT_NEAR(resloc::math::mean(draws), 2.0, 0.08);
+  EXPECT_NEAR(resloc::math::stddev(draws), 3.0, 0.08);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliDegenerate) {
+  Rng rng(21);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(23);
+  std::vector<double> draws;
+  for (int i = 0; i < 50000; ++i) draws.push_back(rng.exponential(2.0));
+  EXPECT_NEAR(resloc::math::mean(draws), 0.5, 0.02);
+  for (double d : draws) EXPECT_GE(d, 0.0);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(25);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, SampleIndicesDistinct) {
+  Rng rng(27);
+  const auto sample = rng.sample_indices(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  const std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (std::size_t idx : sample) EXPECT_LT(idx, 100u);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.split();
+  // Child stream should not replay the parent's continuation.
+  Rng parent_copy(31);
+  Rng child_copy = parent_copy.split();
+  int same_as_parent = 0;
+  for (int i = 0; i < 64; ++i) {
+    const auto c = child.next_u32();
+    EXPECT_EQ(c, child_copy.next_u32());  // but still deterministic
+    if (c == parent.next_u32()) ++same_as_parent;
+  }
+  EXPECT_LT(same_as_parent, 4);
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/histogram.hpp"
+#include "math/stats.hpp"
+
+namespace {
+
+using namespace resloc::math;
+
+TEST(Stats, MeanBasics) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(Stats, StddevBasics) {
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({2.0, 2.0, 2.0}), 0.0);
+  EXPECT_NEAR(stddev({1.0, -1.0, 1.0, -1.0}), 1.0, 1e-12);
+}
+
+TEST(Stats, MedianOdd) { EXPECT_DOUBLE_EQ(*median({3.0, 1.0, 2.0}), 2.0); }
+
+TEST(Stats, MedianEven) { EXPECT_DOUBLE_EQ(*median({4.0, 1.0, 3.0, 2.0}), 2.5); }
+
+TEST(Stats, MedianEmpty) { EXPECT_FALSE(median({}).has_value()); }
+
+TEST(Stats, MedianRobustToOutlier) {
+  EXPECT_DOUBLE_EQ(*median({10.0, 10.1, 9.9, 10.05, 55.0}), 10.05);
+}
+
+TEST(Stats, BinnedModePicksDominantCluster) {
+  // Cluster around 10.0 (4 values), outliers elsewhere.
+  const std::vector<double> v{10.0, 10.1, 9.95, 10.05, 3.0, 55.0, 54.9};
+  const auto mode = binned_mode(v, 0.5);
+  ASSERT_TRUE(mode.has_value());
+  EXPECT_NEAR(*mode, 10.0, 0.5);
+}
+
+TEST(Stats, BinnedModeEdgeCases) {
+  EXPECT_FALSE(binned_mode({}, 0.5).has_value());
+  EXPECT_FALSE(binned_mode({1.0}, 0.0).has_value());
+  EXPECT_FALSE(binned_mode({1.0}, -1.0).has_value());
+  EXPECT_NEAR(*binned_mode({1.0}, 0.5), 1.25, 1e-12);  // center of bin [1.0, 1.5)
+}
+
+TEST(Stats, BinnedModeNegativeValues) {
+  const auto mode = binned_mode({-2.1, -2.2, -2.05, 5.0}, 0.5);
+  ASSERT_TRUE(mode.has_value());
+  EXPECT_LT(*mode, -1.75);
+}
+
+TEST(Stats, PercentileEndpoints) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(*percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(*percentile(v, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(*percentile(v, 50.0), 3.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(*percentile(v, 25.0), 2.5);
+}
+
+TEST(Stats, PercentileEmpty) { EXPECT_FALSE(percentile({}, 50.0).has_value()); }
+
+TEST(Stats, Rms) {
+  EXPECT_DOUBLE_EQ(rms({}), 0.0);
+  EXPECT_DOUBLE_EQ(rms({3.0, -4.0}), std::sqrt(12.5));
+}
+
+TEST(Stats, MinMax) {
+  EXPECT_FALSE(min_value({}).has_value());
+  EXPECT_FALSE(max_value({}).has_value());
+  EXPECT_DOUBLE_EQ(*min_value({3.0, -1.0, 2.0}), -1.0);
+  EXPECT_DOUBLE_EQ(*max_value({3.0, -1.0, 2.0}), 3.0);
+}
+
+TEST(Stats, FractionWithin) {
+  const std::vector<double> v{-0.2, 0.1, 0.5, -1.5, 2.0};
+  EXPECT_DOUBLE_EQ(fraction_within(v, 0.3), 2.0 / 5.0);
+  EXPECT_DOUBLE_EQ(fraction_within(v, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(fraction_within({}, 1.0), 0.0);
+}
+
+TEST(Histogram, BasicBinning) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(0.7);
+  h.add(5.5);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.peak_bin(), 0u);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-0.1);
+  h.add(1.0);  // hi edge counts as overflow
+  h.add(2.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinGeometry) {
+  Histogram h(-2.0, 2.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_lower(0), -2.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(3), 1.5);
+}
+
+TEST(Histogram, AsciiRenderContainsCounts) {
+  Histogram h(0.0, 2.0, 2);
+  h.add_all({0.5, 0.6, 1.5});
+  const std::string art = h.to_ascii(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find('2'), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "math/vec2.hpp"
+
+namespace {
+
+using resloc::math::Vec2;
+
+TEST(Vec2, ArithmeticOperators) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -4.0};
+  EXPECT_EQ(a + b, Vec2(4.0, -2.0));
+  EXPECT_EQ(a - b, Vec2(-2.0, 6.0));
+  EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+  EXPECT_EQ(2.0 * a, Vec2(2.0, 4.0));
+  EXPECT_EQ(b / 2.0, Vec2(1.5, -2.0));
+  EXPECT_EQ(-a, Vec2(-1.0, -2.0));
+}
+
+TEST(Vec2, CompoundAssignment) {
+  Vec2 v{1.0, 1.0};
+  v += Vec2{2.0, 3.0};
+  EXPECT_EQ(v, Vec2(3.0, 4.0));
+  v -= Vec2{1.0, 1.0};
+  EXPECT_EQ(v, Vec2(2.0, 3.0));
+  v *= 2.0;
+  EXPECT_EQ(v, Vec2(4.0, 6.0));
+  v /= 4.0;
+  EXPECT_EQ(v, Vec2(1.0, 1.5));
+}
+
+TEST(Vec2, DotAndCross) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.dot(b), 11.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), 4.0 - 6.0);
+  EXPECT_DOUBLE_EQ(a.cross(a), 0.0);
+}
+
+TEST(Vec2, Norms) {
+  const Vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.norm_sq(), 25.0);
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  const Vec2 u = v.normalized();
+  EXPECT_NEAR(u.norm(), 1.0, 1e-15);
+  EXPECT_NEAR(u.x, 0.6, 1e-15);
+}
+
+TEST(Vec2, Distance) {
+  EXPECT_DOUBLE_EQ(resloc::math::distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(resloc::math::distance_sq({1.0, 1.0}, {2.0, 2.0}), 2.0);
+}
+
+TEST(Vec2, RotationQuarterTurn) {
+  const Vec2 v{1.0, 0.0};
+  const Vec2 r = v.rotated(std::numbers::pi / 2.0);
+  EXPECT_NEAR(r.x, 0.0, 1e-15);
+  EXPECT_NEAR(r.y, 1.0, 1e-15);
+}
+
+TEST(Vec2, RotationPreservesNorm) {
+  const Vec2 v{2.5, -1.5};
+  for (double theta : {0.1, 0.7, 2.0, -1.3}) {
+    EXPECT_NEAR(v.rotated(theta).norm(), v.norm(), 1e-12);
+  }
+}
+
+TEST(Vec2, PerpIsOrthogonal) {
+  const Vec2 v{3.0, 7.0};
+  EXPECT_DOUBLE_EQ(v.dot(v.perp()), 0.0);
+  EXPECT_DOUBLE_EQ(v.perp().norm_sq(), v.norm_sq());
+  // perp is counter-clockwise: cross(v, perp(v)) > 0.
+  EXPECT_GT(v.cross(v.perp()), 0.0);
+}
+
+}  // namespace
