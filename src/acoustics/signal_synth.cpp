@@ -1,7 +1,7 @@
 #include "acoustics/signal_synth.hpp"
 
 #include <cmath>
-#include <numbers>
+#include "math/constants.hpp"
 
 namespace resloc::acoustics {
 
@@ -16,7 +16,7 @@ std::vector<double> synthesize_waveform(const WaveformSpec& spec,
     for (std::size_t i = chirp.start_sample; i < end; ++i) {
       const double t = static_cast<double>(i) * dt;
       wave[i] += spec.tone_amplitude *
-                 std::sin(2.0 * std::numbers::pi * spec.tone_frequency_hz * t);
+                 std::sin(2.0 * resloc::math::kPi * spec.tone_frequency_hz * t);
     }
   }
 
@@ -24,7 +24,7 @@ std::vector<double> synthesize_waveform(const WaveformSpec& spec,
     for (std::size_t i = 0; i < num_samples; ++i) {
       const double t = static_cast<double>(i) * dt;
       wave[i] += spec.interference_amplitude *
-                 std::sin(2.0 * std::numbers::pi * spec.interference_frequency_hz * t);
+                 std::sin(2.0 * resloc::math::kPi * spec.interference_frequency_hz * t);
     }
   }
 

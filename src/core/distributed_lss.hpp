@@ -27,14 +27,15 @@ struct DistributedLssOptions {
   /// Transform estimation method (Section 4.3.1 offers both).
   TransformMethod method = TransformMethod::kClosedForm;
 
-  /// Minimum shared members required to align two local maps; below 3 the
-  /// reflection/rotation is under-determined and alignment is refused.
+  /// Minimum shared members required to align two local maps (default 3);
+  /// below 3 the reflection/rotation is under-determined and alignment is
+  /// refused.
   std::size_t min_shared_members = 3;
 
   /// Reject a pairwise transform whose per-shared-member RMS residual
   /// exceeds this (meters); large residuals signal a folded local map whose
   /// propagation would corrupt everything downstream (the Figure 24 failure).
-  /// Set to a huge value to disable.
+  /// Set to a huge value to disable (the default 1e9 effectively does).
   double max_transform_rmse_m = 1e9;
 };
 

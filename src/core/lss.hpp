@@ -27,14 +27,16 @@ namespace resloc::core {
 /// LSS configuration. Defaults follow the field experiment of Section 4.2.2:
 /// w_ij = 1 (set per-edge in the MeasurementSet), w_D = 10, d_min = 9.14 m.
 struct LssOptions {
-  /// Minimum node spacing d_min; nullopt disables the soft constraint
-  /// (the Figure 19 / Figure 22 ablation).
+  /// Minimum node spacing d_min (default 9.14 m = 30 ft, the paper's grid
+  /// spacing); nullopt disables the soft constraint (the Figure 19 /
+  /// Figure 22 ablation).
   std::optional<double> min_spacing_m = 9.14;
 
-  /// Soft-constraint weight w_D.
+  /// Soft-constraint weight w_D (default 10, Section 4.2.2).
   double constraint_weight = 10.0;
 
-  /// Side of the square in which random initial configurations are drawn.
+  /// Side of the square in which random initial configurations are drawn
+  /// (default 70 m, covering the ~63 m grass-grid extent).
   double init_box_m = 70.0;
 
   /// Gradient-descent tuning (Equation 1 with adaptive step).

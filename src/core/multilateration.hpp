@@ -20,7 +20,8 @@ namespace resloc::core {
 
 /// Multilateration configuration.
 struct MultilaterationOptions {
-  /// Minimum anchors with measurements before a node is localized at all.
+  /// Minimum anchors with measurements before a node is localized at all
+  /// (default 3, the planar lower bound).
   std::size_t min_anchors = 3;
 
   /// Run the intersection consistency check before minimizing.
@@ -30,13 +31,14 @@ struct MultilaterationOptions {
   /// Estimate the position as the dominant intersection cluster's centroid
   /// ("we may take the mode of the intersection points ... instead of
   /// minimizing the error if the number of anchors is large enough") when at
-  /// least `mode_min_anchors` consistent anchors are available.
+  /// least `mode_min_anchors` (default 5) consistent anchors are available.
   bool use_intersection_mode_estimate = false;
   std::size_t mode_min_anchors = 5;
 
   /// Progressive localization: localized non-anchors become anchors for
-  /// later rounds, with weight scaled by `progressive_weight`. The paper's
-  /// reported experiments use a single round with constant weight 1.
+  /// later rounds, with weight scaled by `progressive_weight` (default 0.5).
+  /// The paper's reported experiments use a single round with constant
+  /// weight 1, so both toggles default off.
   bool progressive = false;
   double progressive_weight = 0.5;
   int max_progressive_rounds = 10;

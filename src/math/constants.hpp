@@ -1,0 +1,9 @@
+// Scalar math constants shared across the library.
+#pragma once
+
+namespace resloc::math {
+
+/// pi as a double (std::numbers::pi is C++20; this library targets C++17).
+inline constexpr double kPi = 3.141592653589793238462643383279502884;
+
+}  // namespace resloc::math

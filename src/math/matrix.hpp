@@ -55,7 +55,10 @@ class Matrix {
     return data_[r * cols_ + c];
   }
 
-  bool operator==(const Matrix&) const = default;
+  bool operator==(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
+  }
+  bool operator!=(const Matrix& o) const { return !(*this == o); }
 
   Matrix operator+(const Matrix& o) const {
     assert(same_shape(o));

@@ -2,7 +2,7 @@
 
 #include <cassert>
 #include <cmath>
-#include <numbers>
+#include "math/constants.hpp"
 
 namespace resloc::math {
 
@@ -61,7 +61,7 @@ double Rng::gaussian(double mean, double stddev) {
   } while (u1 <= 0.0);
   const double u2 = uniform();
   const double r = std::sqrt(-2.0 * std::log(u1));
-  const double theta = 2.0 * std::numbers::pi * u2;
+  const double theta = 2.0 * resloc::math::kPi * u2;
   cached_gaussian_ = r * std::sin(theta);
   has_cached_gaussian_ = true;
   return mean + stddev * r * std::cos(theta);

@@ -45,7 +45,8 @@ struct Vec2 {
     return *this;
   }
 
-  constexpr bool operator==(const Vec2&) const = default;
+  constexpr bool operator==(const Vec2& o) const { return x == o.x && y == o.y; }
+  constexpr bool operator!=(const Vec2& o) const { return !(*this == o); }
 
   /// Dot product.
   constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }

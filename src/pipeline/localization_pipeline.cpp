@@ -1,0 +1,98 @@
+#include "pipeline/localization_pipeline.hpp"
+
+#include <utility>
+
+namespace resloc::pipeline {
+
+LocalizationPipeline::LocalizationPipeline(PipelineConfig config) : config_(std::move(config)) {}
+
+core::MeasurementSet LocalizationPipeline::measure(const core::Deployment& deployment,
+                                                   resloc::math::Rng& rng,
+                                                   std::size_t* augmented_edges) const {
+  core::MeasurementSet measurements;
+  switch (config_.source) {
+    case MeasurementSource::kAcousticRanging: {
+      const sim::FieldExperimentData data =
+          sim::run_field_experiment(deployment, config_.campaign, rng);
+      measurements = data.to_measurement_set(deployment.size());
+      break;
+    }
+    case MeasurementSource::kSyntheticGaussian:
+      measurements = sim::gaussian_measurements(deployment, config_.noise, rng);
+      break;
+  }
+  measurements.set_node_count(deployment.size());
+
+  std::size_t added = 0;
+  if (config_.augment_missing) {
+    added = sim::augment_with_gaussian(measurements, deployment, config_.noise, rng,
+                                       config_.max_augmented);
+  }
+  if (augmented_edges != nullptr) {
+    *augmented_edges = added;
+  }
+  return measurements;
+}
+
+PipelineRun LocalizationPipeline::run(const core::Deployment& deployment,
+                                      resloc::math::Rng& rng) const {
+  std::size_t augmented = 0;
+  core::MeasurementSet measurements = measure(deployment, rng, &augmented);
+  PipelineRun out = run_on_measurements(deployment, std::move(measurements), rng);
+  out.augmented_edges = augmented;
+  return out;
+}
+
+PipelineRun LocalizationPipeline::run_on_measurements(const core::Deployment& deployment,
+                                                      core::MeasurementSet measurements,
+                                                      resloc::math::Rng& rng) const {
+  PipelineRun out;
+  out.measurements = std::move(measurements);
+  out.measurements.set_node_count(deployment.size());
+
+  bool align_for_eval = true;
+  std::vector<core::NodeId> exclude;
+
+  switch (config_.solver) {
+    case Solver::kMultilateration: {
+      out.estimates = core::localize_by_multilateration(deployment, out.measurements,
+                                                        config_.multilateration, rng);
+      // Multilateration output is absolute; anchors know their position and
+      // are not scored (the paper reports non-anchor error only).
+      align_for_eval = false;
+      exclude = deployment.anchors;
+      break;
+    }
+    case Solver::kCentralizedLss: {
+      const core::LssResult lss = core::localize_lss(out.measurements, config_.lss, rng);
+      out.stress = lss.stress;
+      std::vector<bool> has_measurement(deployment.size(), false);
+      for (const core::DistanceEdge& edge : out.measurements.edges()) {
+        if (edge.i < has_measurement.size()) has_measurement[edge.i] = true;
+        if (edge.j < has_measurement.size()) has_measurement[edge.j] = true;
+      }
+      out.estimates.positions.assign(deployment.size(), std::nullopt);
+      for (std::size_t id = 0; id < deployment.size(); ++id) {
+        // Nodes with no measurement are only touched by the soft constraint;
+        // their coordinates are meaningless, so report them unlocalized.
+        if (id < lss.positions.size() && has_measurement[id]) {
+          out.estimates.positions[id] = lss.positions[id];
+        }
+      }
+      break;
+    }
+    case Solver::kDistributedLss: {
+      const core::DistributedLssResult dist = core::localize_distributed(
+          out.measurements, config_.distributed_root, config_.distributed, rng);
+      out.estimates = dist.result;
+      out.estimates.positions.resize(deployment.size());
+      break;
+    }
+  }
+
+  out.report = eval::evaluate_localization(out.estimates.positions, deployment.positions,
+                                           align_for_eval, exclude);
+  return out;
+}
+
+}  // namespace resloc::pipeline

@@ -1,0 +1,115 @@
+// One-stop facade over the full localization stack: measurement acquisition
+// (acoustic ranging campaign or the paper's synthetic Gaussian model), an
+// optional augmentation pass, one of the three localization solvers
+// (multilateration, centralized LSS, distributed LSS), and evaluation.
+//
+// This is the surface the examples and future batching/sharding work build
+// on: scenario in, per-node position estimates plus an eval report out. Each
+// stage remains individually accessible (measure() / run_on_measurements())
+// so callers can cache or replace any step.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+#include "core/distributed_lss.hpp"
+#include "core/lss.hpp"
+#include "core/multilateration.hpp"
+#include "core/types.hpp"
+#include "eval/metrics.hpp"
+#include "math/rng.hpp"
+#include "sim/field_experiment.hpp"
+#include "sim/measurement_gen.hpp"
+#include "sim/scenarios.hpp"
+
+namespace resloc::pipeline {
+
+/// How the pipeline obtains its distance measurements.
+enum class MeasurementSource {
+  /// Full acoustic ranging campaign (Section 3): every node chirps in turn,
+  /// estimates are filtered and symmetrized into the measurement set.
+  kAcousticRanging,
+  /// The paper's synthetic model (Sections 4.1.3/4.2.2): true distance plus
+  /// N(0, sigma) noise for every pair within range.
+  kSyntheticGaussian,
+};
+
+/// Which localization algorithm consumes the measurement set.
+enum class Solver {
+  kMultilateration,  ///< Section 4.1; needs anchors, output frame is absolute
+  kCentralizedLss,   ///< Section 4.2; relative frame, aligned before scoring
+  kDistributedLss,   ///< Section 4.3; root-relative frame, aligned before scoring
+};
+
+/// Full pipeline configuration. The defaults reproduce the paper's grass-grid
+/// campaign followed by centralized LSS.
+struct PipelineConfig {
+  MeasurementSource source = MeasurementSource::kAcousticRanging;
+  Solver solver = Solver::kCentralizedLss;
+
+  /// Ranging-campaign settings (kAcousticRanging only). Defaults to the
+  /// grass-field campaign of Section 3.6 / Figure 5.
+  sim::FieldExperimentConfig campaign = sim::grass_campaign_config();
+
+  /// Synthetic noise model (kSyntheticGaussian, and the augmentation pass).
+  sim::GaussianNoiseModel noise;
+
+  /// Fill in synthetic measurements for in-range pairs the campaign missed
+  /// (the Figure 15 / Figure 25 augmentation). `max_augmented` bounds how
+  /// many are added; 0 = unbounded.
+  bool augment_missing = false;
+  std::size_t max_augmented = 0;
+
+  /// Per-solver options; only the selected solver's block is read.
+  core::MultilaterationOptions multilateration;
+  core::LssOptions lss;
+  core::DistributedLssOptions distributed;
+  /// Root node whose frame the distributed alignment propagates from.
+  core::NodeId distributed_root = 0;
+};
+
+/// Everything one pipeline invocation produced.
+struct PipelineRun {
+  /// The measurement set the solver consumed (after filtering/augmentation).
+  core::MeasurementSet measurements;
+  /// Edges contributed by the augmentation pass (0 unless augment_missing).
+  std::size_t augmented_edges = 0;
+  /// Per-node position estimates; nullopt = the solver could not place the
+  /// node (no measurements, unreachable from the root, too few anchors, ...).
+  core::LocalizationResult estimates;
+  /// Final stress E of the centralized LSS solve. NaN for the other two
+  /// solvers: multilateration minimizes per node, and distributed LSS has no
+  /// single global stress (each local map minimizes its own).
+  double stress = std::numeric_limits<double>::quiet_NaN();
+  /// Error metrics against ground truth. Relative-frame solvers are best-fit
+  /// aligned first (Section 4.2.2); multilateration is compared directly and
+  /// anchors are excluded from its scoring.
+  eval::LocalizationReport report;
+};
+
+/// Facade wiring RangingService -> Multilateration / Lss / DistributedLss.
+class LocalizationPipeline {
+ public:
+  LocalizationPipeline() : LocalizationPipeline(PipelineConfig{}) {}
+  explicit LocalizationPipeline(PipelineConfig config);
+
+  /// Runs the full pipeline on a deployment: measure, solve, evaluate.
+  PipelineRun run(const core::Deployment& deployment, resloc::math::Rng& rng) const;
+
+  /// Measurement acquisition only (campaign or synthetic, plus augmentation).
+  core::MeasurementSet measure(const core::Deployment& deployment, resloc::math::Rng& rng,
+                               std::size_t* augmented_edges = nullptr) const;
+
+  /// Solve + evaluate over a caller-provided measurement set (e.g. replayed
+  /// field data). The deployment supplies ground truth and anchor positions.
+  PipelineRun run_on_measurements(const core::Deployment& deployment,
+                                  core::MeasurementSet measurements,
+                                  resloc::math::Rng& rng) const;
+
+  const PipelineConfig& config() const { return config_; }
+
+ private:
+  PipelineConfig config_;
+};
+
+}  // namespace resloc::pipeline

@@ -73,7 +73,9 @@ std::vector<PairEstimate> MeasurementTable::symmetric_estimates(
 std::vector<PairEstimate> MeasurementTable::bidirectional_only(
     const FilterPolicy& policy, double bidirectional_tolerance_m) const {
   auto all = symmetric_estimates(policy, bidirectional_tolerance_m);
-  std::erase_if(all, [](const PairEstimate& p) { return !p.bidirectional; });
+  all.erase(std::remove_if(all.begin(), all.end(),
+                           [](const PairEstimate& p) { return !p.bidirectional; }),
+            all.end());
   return all;
 }
 
@@ -122,10 +124,12 @@ std::vector<PairEstimate> drop_triangle_offenders(std::vector<PairEstimate> pair
     if (longest == v.bc) ++offence_count[{std::min(v.b, v.c), std::max(v.b, v.c)}];
     if (longest == v.ca) ++offence_count[{std::min(v.c, v.a), std::max(v.c, v.a)}];
   }
-  std::erase_if(pairs, [&](const PairEstimate& p) {
-    const auto it = offence_count.find({p.a, p.b});
-    return it != offence_count.end() && it->second >= min_violations;
-  });
+  pairs.erase(std::remove_if(pairs.begin(), pairs.end(),
+                             [&](const PairEstimate& p) {
+                               const auto it = offence_count.find({p.a, p.b});
+                               return it != offence_count.end() && it->second >= min_violations;
+                             }),
+              pairs.end());
   return pairs;
 }
 

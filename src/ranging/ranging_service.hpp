@@ -38,14 +38,18 @@ struct RangingConfig {
   DetectionParams detection;
   TdoaParams tdoa;
 
-  /// Sampling window covers acoustic travel up to this range (determines the
-  /// buffer size; Section 3.6.2 ties RAM to this).
+  /// Sampling window covers acoustic travel up to this range (default 40 m;
+  /// determines the buffer size; Section 3.6.2 ties RAM to this).
   double max_window_range_m = 40.0;
 
-  /// Baseline mode: one chirp, first-firing detection, no accumulation.
+  /// Baseline mode: one chirp, first-firing detection, no accumulation
+  /// (default off = refined mode).
   bool baseline = false;
 
-  /// Preceding-silence pattern verification (refined mode only).
+  /// Preceding-silence pattern verification (refined mode only; default on).
+  /// A candidate onset is rejected when more than `silence_max_noisy`
+  /// (default 2) of the `silence_gap_samples` (default 48, i.e. 3 ms at
+  /// 16 kHz) samples before it meet the detection threshold.
   bool verify_pattern = true;
   int silence_gap_samples = 48;
   int silence_max_noisy = 2;

@@ -1,7 +1,6 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
-#include <numbers>
 
 #include "math/rng.hpp"
 #include "math/transform2d.hpp"

@@ -1,7 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
-#include <numbers>
+#include "math/constants.hpp"
 
 #include "math/vec2.hpp"
 
@@ -56,7 +56,7 @@ TEST(Vec2, Distance) {
 
 TEST(Vec2, RotationQuarterTurn) {
   const Vec2 v{1.0, 0.0};
-  const Vec2 r = v.rotated(std::numbers::pi / 2.0);
+  const Vec2 r = v.rotated(resloc::math::kPi / 2.0);
   EXPECT_NEAR(r.x, 0.0, 1e-15);
   EXPECT_NEAR(r.y, 1.0, 1e-15);
 }

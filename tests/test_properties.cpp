@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
-#include <numbers>
+#include "math/constants.hpp"
 
 #include "core/lss.hpp"
 #include "core/transform_estimation.hpp"
@@ -139,11 +139,11 @@ class DftPhaseSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(DftPhaseSweep, InBandToneDetectedAtAnyPhase) {
   const double phase =
-      static_cast<double>(GetParam()) / 8.0 * 2.0 * std::numbers::pi;
+      static_cast<double>(GetParam()) / 8.0 * 2.0 * resloc::math::kPi;
   resloc::ranging::SlidingDftFilter filter;
   resloc::ranging::BandPowers last{};
   for (int i = 0; i < 144; ++i) {
-    last = filter.filter(100.0 * std::sin(std::numbers::pi / 2.0 * i + phase));
+    last = filter.filter(100.0 * std::sin(resloc::math::kPi / 2.0 * i + phase));
   }
   EXPECT_GT(last.band_fs4, 1e5) << "phase " << phase;
   EXPECT_LT(last.band_fs6, last.band_fs4 / 20.0);

@@ -1,7 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
-#include <numbers>
+#include "math/constants.hpp"
 
 #include "acoustics/signal_synth.hpp"
 #include "math/rng.hpp"
@@ -111,7 +111,7 @@ TEST(VerifyPrecedingSilence, WindowClampedAtStart) {
 std::vector<double> tone(std::size_t n, double period, double amplitude, double phase = 0.0) {
   std::vector<double> wave(n);
   for (std::size_t i = 0; i < n; ++i) {
-    wave[i] = amplitude * std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / period + phase);
+    wave[i] = amplitude * std::sin(2.0 * resloc::math::kPi * static_cast<double>(i) / period + phase);
   }
   return wave;
 }
