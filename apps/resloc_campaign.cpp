@@ -1,0 +1,274 @@
+// resloc_campaign -- run a named Monte-Carlo parameter sweep end to end.
+//
+//   resloc_campaign --list
+//   resloc_campaign --sweep grid --threads 8 --json report.json --csv report.csv
+//   resloc_campaign --sweep smoke --seed 7 --trials 2
+//
+// Each named sweep is a declarative SweepSpec over the scenario registry and
+// the localization pipeline; the CampaignRunner fans its trials out across
+// worker threads with deterministic per-trial RNG substreams, so the JSON and
+// CSV aggregates are byte-identical for a given --seed at any --threads value
+// (wall-clock timing goes to stdout only, never into the reports).
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "eval/aggregate.hpp"
+#include "eval/report.hpp"
+#include "runner/campaign_runner.hpp"
+#include "runner/sweep_spec.hpp"
+#include "sim/scenario_registry.hpp"
+
+using resloc::pipeline::MeasurementSource;
+using resloc::pipeline::Solver;
+using resloc::runner::CampaignResult;
+using resloc::runner::CampaignRunner;
+using resloc::runner::RunnerOptions;
+using resloc::runner::SweepSpec;
+
+namespace {
+
+struct NamedSweep {
+  std::string description;
+  SweepSpec spec;
+};
+
+SweepSpec synthetic_base(const std::string& name) {
+  SweepSpec spec;
+  spec.name = name;
+  spec.base.source = MeasurementSource::kSyntheticGaussian;
+  return spec;
+}
+
+// The built-in sweep catalog. Trial counts are defaults; --trials overrides.
+std::map<std::string, NamedSweep> sweep_catalog() {
+  std::map<std::string, NamedSweep> catalog;
+
+  {  // Tiny 2x2 sweep for CI smoke runs: 4 cells, 1 trial each.
+    SweepSpec spec = synthetic_base("smoke");
+    spec.trials_per_cell = 1;
+    spec.axes.node_counts = {16, 25};
+    spec.axes.noise_sigmas = {0.33, 1.0};
+    spec.axes.anchor_counts = {6};
+    catalog["smoke"] = {"2x2 smoke grid (4 multilateration trials, sub-second)", spec};
+  }
+  {  // The default workhorse: error vs node count x sigma x anchor count.
+    SweepSpec spec = synthetic_base("grid");
+    spec.trials_per_cell = 10;
+    spec.axes.node_counts = {25, 49};
+    spec.axes.noise_sigmas = {0.2, 0.33, 0.5};
+    spec.axes.anchor_counts = {10, 13};
+    catalog["grid"] = {"multilateration error vs nodes x sigma x anchors (12 cells, 120 trials)",
+                       spec};
+  }
+  {  // Figure 13/14-flavored: how anchor density gates placement rate.
+    SweepSpec spec = synthetic_base("anchors");
+    spec.trials_per_cell = 10;
+    spec.axes.scenarios = {"grass_grid"};
+    spec.axes.noise_sigmas = {0.33};
+    spec.axes.anchor_counts = {4, 6, 8, 13, 20};
+    catalog["anchors"] = {"placement rate vs anchor count on the grass grid (50 trials)", spec};
+  }
+  {  // Error vs noise sigma, the Section 4.1.3 sensitivity axis.
+    SweepSpec spec = synthetic_base("noise");
+    spec.trials_per_cell = 15;
+    spec.axes.scenarios = {"grass_grid"};
+    spec.axes.noise_sigmas = {0.1, 0.2, 0.33, 0.5, 1.0, 2.0};
+    spec.axes.anchor_counts = {13};
+    catalog["noise"] = {"multilateration error vs noise sigma (6 cells, 90 trials)", spec};
+  }
+  {  // Mote-failure resilience across two geometries.
+    SweepSpec spec = synthetic_base("dropout");
+    spec.trials_per_cell = 10;
+    spec.axes.scenarios = {"offset_grid", "town"};
+    spec.axes.noise_sigmas = {0.33};
+    spec.axes.anchor_counts = {13};
+    spec.axes.drop_rates = {0.0, 0.1, 0.2, 0.3};
+    catalog["dropout"] = {"error/placement vs node drop rate, grid + town (80 trials)", spec};
+  }
+  {  // Solver shootout including the (costlier) centralized LSS. The
+     // synthetic source already measures every in-range pair, so no
+     // augmentation axis: it would be a no-op here.
+    SweepSpec spec = synthetic_base("solvers");
+    spec.trials_per_cell = 5;
+    spec.axes.scenarios = {"grass_grid"};
+    spec.axes.solvers = {Solver::kMultilateration, Solver::kCentralizedLss};
+    spec.axes.noise_sigmas = {0.33, 1.0};
+    spec.axes.anchor_counts = {13};
+    catalog["solvers"] = {"multilateration vs centralized LSS, dense synthetic (20 trials)",
+                          spec};
+  }
+  return catalog;
+}
+
+void print_usage() {
+  std::puts(
+      "usage: resloc_campaign [--sweep NAME] [--threads N] [--seed S]\n"
+      "                       [--trials K] [--json PATH] [--csv PATH] [--list]\n"
+      "\n"
+      "  --sweep NAME   named sweep to run (default: grid)\n"
+      "  --threads N    worker threads (default: hardware concurrency)\n"
+      "  --seed S       master seed; aggregates are byte-identical per seed\n"
+      "                 at any thread count (default: 1)\n"
+      "  --trials K     override the sweep's trials-per-cell\n"
+      "  --json PATH    write the deterministic JSON aggregate report\n"
+      "  --csv PATH     write the deterministic per-cell CSV table\n"
+      "  --list         list available sweeps and scenarios, then exit");
+}
+
+bool parse_u64(const char* s, std::uint64_t& out) {
+  // Digits only: strtoull would silently wrap "-1" to 2^64-1.
+  if (*s == '\0') return false;
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  out = std::strtoull(s, &end, 10);
+  return *end == '\0' && errno != ERANGE;  // reject silent overflow clamping
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string sweep_name = "grid";
+  std::string json_path;
+  std::string csv_path;
+  std::uint64_t seed = 1;
+  std::uint64_t threads = 0;
+  std::uint64_t trials_override = 0;
+  bool list = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto arg = std::string(argv[i]);
+    const auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else if (arg == "--sweep") {
+      sweep_name = need_value("--sweep");
+    } else if (arg == "--json") {
+      json_path = need_value("--json");
+    } else if (arg == "--csv") {
+      csv_path = need_value("--csv");
+    } else if (arg == "--seed") {
+      if (!parse_u64(need_value("--seed"), seed)) {
+        std::fprintf(stderr, "error: --seed expects an unsigned integer\n");
+        return 2;
+      }
+    } else if (arg == "--threads") {
+      if (!parse_u64(need_value("--threads"), threads) || threads > 4096) {
+        std::fprintf(stderr, "error: --threads expects an integer in [0, 4096]\n");
+        return 2;
+      }
+    } else if (arg == "--trials") {
+      if (!parse_u64(need_value("--trials"), trials_override) || trials_override == 0 ||
+          trials_override > 1000000) {
+        std::fprintf(stderr, "error: --trials expects an integer in [1, 1000000]\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "error: unknown argument '%s'\n", arg.c_str());
+      print_usage();
+      return 2;
+    }
+  }
+
+  auto catalog = sweep_catalog();
+  if (list) {
+    std::puts("sweeps:");
+    for (const auto& [name, sweep] : catalog) {
+      std::printf("  %-10s %s\n", name.c_str(), sweep.description.c_str());
+    }
+    std::puts("\nscenarios:");
+    for (const auto& name : resloc::sim::scenario_names()) {
+      std::printf("  %s\n", name.c_str());
+    }
+    return 0;
+  }
+
+  const auto it = catalog.find(sweep_name);
+  if (it == catalog.end()) {
+    std::fprintf(stderr, "error: unknown sweep '%s' (--list shows the catalog)\n",
+                 sweep_name.c_str());
+    return 2;
+  }
+
+  SweepSpec spec = it->second.spec;
+  spec.seed = seed;
+  if (trials_override != 0) spec.trials_per_cell = static_cast<std::size_t>(trials_override);
+
+  const CampaignRunner runner(RunnerOptions{static_cast<unsigned>(threads)});
+  const CampaignResult result = runner.run(spec);
+
+  std::size_t ok = 0;
+  for (const auto& t : result.trials) ok += t.ok ? 1u : 0u;
+  std::printf("sweep '%s': %zu cells, %zu trials (%zu ok), seed %llu, %u threads, %.2f s\n\n",
+              spec.name.c_str(), result.cells.size(), result.trials.size(), ok,
+              static_cast<unsigned long long>(result.seed), result.threads_used,
+              result.wall_time_s);
+
+  if (ok < result.trials.size()) {
+    // Surface each distinct failure reason once so a fully failed campaign
+    // is diagnosable from the console.
+    std::fprintf(stderr, "warning: %zu of %zu trials failed:\n",
+                 result.trials.size() - ok, result.trials.size());
+    std::set<std::string> reasons;
+    for (const auto& t : result.trials) {
+      if (!t.ok && reasons.insert(t.error).second) {
+        std::fprintf(stderr, "  cell %zu: %s\n", t.cell_index, t.error.c_str());
+        if (reasons.size() >= 5) break;
+      }
+    }
+  }
+
+  if (!result.cells.empty()) {
+    std::vector<std::string> header;
+    for (const auto& [axis, value] : result.cells.front().axes) header.push_back(axis);
+    header.insert(header.end(),
+                  {"trials", "mean_err_m", "p95_err_m", "placement", "mean_stress"});
+    resloc::eval::Table table(header);
+    for (const auto& cell : result.cells) {
+      std::vector<std::string> row;
+      for (const auto& [axis, value] : cell.axes) row.push_back(value);
+      const auto& g = cell.aggregate;
+      row.push_back(std::to_string(g.trials));
+      row.push_back(resloc::eval::fmt(g.mean_error_m));
+      row.push_back(resloc::eval::fmt(g.p95_error_m));
+      row.push_back(resloc::eval::fmt(g.mean_placement_rate));
+      row.push_back(std::isnan(g.mean_stress) ? "-" : resloc::eval::fmt(g.mean_stress));
+      table.add_row(row);
+    }
+    std::fputs(table.to_string().c_str(), stdout);
+  }
+
+  bool io_ok = true;
+  if (!json_path.empty()) {
+    io_ok &= resloc::eval::write_text_file(json_path, result.to_json());
+    std::printf("\njson report: %s\n", json_path.c_str());
+  }
+  if (!csv_path.empty()) {
+    io_ok &= resloc::eval::write_text_file(csv_path, result.to_csv());
+    std::printf("csv report: %s\n", csv_path.c_str());
+  }
+  if (!io_ok) {
+    std::fprintf(stderr, "error: failed to write one or more report files\n");
+    return 1;
+  }
+  return 0;
+}

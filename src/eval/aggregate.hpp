@@ -1,0 +1,89 @@
+// Campaign aggregation: per-trial outcomes folded into per-cell summary
+// statistics, with deterministic CSV and JSON emitters.
+//
+// A "cell" is one point of a parameter sweep's cross product; the experiment
+// runner executes `trials` repetitions per cell and this layer reduces them
+// to the statistics the paper's figures plot (mean/median/p95 localization
+// error, placement rate, stress). Emitters are byte-deterministic for a given
+// input: doubles are printed with a fixed %.12g format, cells in index order,
+// and wall-clock timing is kept out of the serialized aggregates (it is the
+// one per-trial quantity that legitimately varies run to run, so including
+// it would break the same-seed byte-identity guarantee the runner's tests
+// enforce).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace resloc::eval {
+
+/// Reduced result of one trial (one pipeline run on one sampled deployment).
+struct TrialOutcome {
+  std::size_t cell_index = 0;    ///< which sweep cell the trial belongs to
+  std::size_t trial_index = 0;   ///< repetition index within the cell
+  bool ok = false;               ///< false: scenario build or solve failed
+  std::size_t total_nodes = 0;   ///< scored nodes (non-anchors for multilat)
+  std::size_t localized = 0;
+  double placement_rate = 0.0;   ///< localized / total
+  double average_error_m = 0.0;
+  double median_error_m = 0.0;
+  double max_error_m = 0.0;
+  double stress = 0.0;           ///< NaN for solvers without a global stress
+  std::size_t measured_edges = 0;
+  std::size_t augmented_edges = 0;
+  double wall_time_s = 0.0;      ///< excluded from deterministic emitters
+  /// What went wrong when !ok (e.g. "unknown scenario: ..."). Diagnostics
+  /// only; not part of the serialized aggregates.
+  std::string error;
+};
+
+/// Summary statistics over one cell's trials. Error statistics are computed
+/// over the trials that localized at least one node; placement/edge
+/// statistics over all ok trials. Statistics with no contributing trials are
+/// NaN (serialized as null in JSON, "nan" in CSV) -- absent, not zero.
+struct CellAggregate {
+  std::size_t trials = 0;          ///< trials attempted
+  std::size_t ok_trials = 0;       ///< trials that ran to completion
+  std::size_t scored_trials = 0;   ///< ok trials with >= 1 localized node
+  double mean_error_m = 0.0;       ///< mean over trial average errors
+  double median_error_m = 0.0;     ///< median over trial average errors
+  double p95_error_m = 0.0;        ///< 95th percentile of trial average errors
+  double max_error_m = 0.0;        ///< worst single-node error in the cell
+  double mean_placement_rate = 0.0;
+  double mean_stress = 0.0;        ///< over trials with finite stress; NaN if none
+  double mean_measured_edges = 0.0;
+  double mean_augmented_edges = 0.0;
+  double total_wall_time_s = 0.0;  ///< excluded from deterministic emitters
+};
+
+/// One sweep cell: its axis coordinates (name -> value, in axis order) and
+/// the aggregate over its trials.
+struct CellResult {
+  std::vector<std::pair<std::string, std::string>> axes;
+  CellAggregate aggregate;
+};
+
+/// Folds one cell's trial outcomes into summary statistics. The range form
+/// lets callers aggregate a contiguous slice (e.g. one cell of a cell-major
+/// campaign) without copying.
+CellAggregate aggregate_trials(const TrialOutcome* begin, const TrialOutcome* end);
+CellAggregate aggregate_trials(const std::vector<TrialOutcome>& trials);
+
+/// Deterministic double formatting shared by the emitters (%.12g; NaN -> "nan").
+std::string format_value(double value);
+
+/// Serializes a campaign to pretty-printed JSON. Deterministic: same cells in,
+/// same bytes out. `sweep_name` and `seed` identify the campaign.
+std::string campaign_to_json(const std::string& sweep_name, std::uint64_t seed,
+                             const std::vector<CellResult>& cells);
+
+/// Serializes the per-cell table to CSV (one row per cell, axis columns
+/// first). Deterministic like the JSON emitter.
+std::string campaign_to_csv(const std::vector<CellResult>& cells);
+
+/// Writes `content` to `path` (best effort; returns false on I/O error).
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace resloc::eval

@@ -8,6 +8,16 @@ namespace resloc::math {
 
 namespace {
 constexpr std::uint64_t kMultiplier = 6364136223846793005ULL;
+
+// SplitMix64 finalizer (Steele et al., 2014): a strong 64 -> 64 bit mixer
+// whose outputs for consecutive inputs are statistically independent, which
+// is exactly what substream derivation needs.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
 }  // namespace
 
 Rng::Rng(std::uint64_t seed, std::uint64_t stream) : state_(0), inc_((stream << 1u) | 1u) {
@@ -79,12 +89,23 @@ double Rng::exponential(double lambda) {
 }
 
 std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
-  assert(k <= n);
+  // Clamp instead of trusting the caller: with NDEBUG the old assert was a
+  // no-op and resize(k > n) padded the sample with duplicate zero indices.
+  if (k > n) k = n;
   std::vector<std::size_t> all(n);
   for (std::size_t i = 0; i < n; ++i) all[i] = i;
   shuffle(all);
   all.resize(k);
   return all;
+}
+
+Rng Rng::fork(std::uint64_t stream_index) const {
+  // Mix state, stream selector, and index so that (a) different parents give
+  // different substream families and (b) consecutive indices land far apart.
+  const std::uint64_t base = splitmix64(state_ ^ splitmix64(inc_));
+  const std::uint64_t seed = splitmix64(base ^ splitmix64(stream_index));
+  const std::uint64_t stream = splitmix64(seed + 0x632be59bd9b4e019ULL);
+  return Rng(seed, stream);
 }
 
 Rng Rng::split() {

@@ -52,12 +52,22 @@ class Rng {
     }
   }
 
-  /// Samples `k` distinct indices from [0, n) in random order.
+  /// Samples `min(k, n)` distinct indices from [0, n) in random order.
   std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
 
   /// Derives an independent child generator; used to give each simulated node
   /// or experiment repetition its own stream without correlation.
   Rng split();
+
+  /// Derives the `stream_index`-th substream of this generator without
+  /// advancing it (SplitMix64 over the current state, the stream selector,
+  /// and the index). fork(i) depends on the parent's CURRENT state -- for a
+  /// freshly seeded parent that has produced no draws, that is exactly its
+  /// seed material, which is how the campaign runner gets its replay recipe:
+  /// Rng(seed).fork(i) is the same stream from any thread, in any order.
+  /// A parent that has already drawn yields a different (still
+  /// deterministic) substream family. Distinct indices are decorrelated.
+  Rng fork(std::uint64_t stream_index) const;
 
  private:
   std::uint64_t state_;

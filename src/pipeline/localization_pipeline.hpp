@@ -88,6 +88,13 @@ struct PipelineRun {
 };
 
 /// Facade wiring RangingService -> Multilateration / Lss / DistributedLss.
+///
+/// Thread safety: run(), measure(), and run_on_measurements() are const and
+/// read only the immutable config; the solver stack below them keeps no
+/// mutable global state (audited for the experiment runner: the only statics
+/// in src/ are factory functions and the mutex-guarded scenario registry).
+/// One pipeline instance may therefore be shared across threads, provided
+/// each concurrent call uses its own Rng.
 class LocalizationPipeline {
  public:
   LocalizationPipeline() : LocalizationPipeline(PipelineConfig{}) {}

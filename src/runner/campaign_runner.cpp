@@ -1,0 +1,139 @@
+#include "runner/campaign_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+#include "sim/deployments.hpp"
+#include "sim/scenario_registry.hpp"
+
+namespace resloc::runner {
+
+using resloc::eval::CellResult;
+using resloc::eval::TrialOutcome;
+
+std::string CampaignResult::to_json() const {
+  return resloc::eval::campaign_to_json(sweep_name, seed, cells);
+}
+
+std::string CampaignResult::to_csv() const { return resloc::eval::campaign_to_csv(cells); }
+
+CampaignRunner::CampaignRunner(RunnerOptions options) : options_(options) {}
+
+TrialOutcome CampaignRunner::run_trial(const SweepSpec& spec, const TrialSpec& trial) {
+  TrialOutcome outcome;
+  outcome.cell_index = trial.cell_index;
+  outcome.trial_index = trial.trial_index;
+
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    // Substream derivation: the master Rng is never advanced, so this trial's
+    // randomness depends only on (spec.seed, global_index). Separate forks
+    // for deployment, anchors, and the pipeline keep a change in one stage's
+    // draw count from shifting the others.
+    const resloc::math::Rng master(spec.seed);
+    const resloc::math::Rng trial_rng = master.fork(trial.global_index);
+    resloc::math::Rng deploy_rng = trial_rng.fork(0);
+    resloc::math::Rng anchor_rng = trial_rng.fork(1);
+    resloc::math::Rng pipeline_rng = trial_rng.fork(2);
+
+    sim::ScenarioParams params;
+    params.node_count = trial.node_count;
+    core::Deployment deployment = sim::build_scenario(trial.scenario, params, deploy_rng);
+    if (trial.drop_rate > 0.0 && !deployment.positions.empty()) {
+      const auto drops = static_cast<std::size_t>(
+          std::floor(trial.drop_rate * static_cast<double>(deployment.size())));
+      sim::drop_random_nodes(deployment, drops, deploy_rng);
+    }
+    if (trial.anchor_count > 0) {
+      sim::choose_random_anchors(deployment, trial.anchor_count, anchor_rng);
+    }
+
+    pipeline::PipelineConfig config = spec.base;
+    config.solver = trial.solver;
+    config.noise.sigma_m = trial.noise_sigma;
+    config.augment_missing = trial.augment;
+
+    const pipeline::LocalizationPipeline pipe(config);
+    const pipeline::PipelineRun run = pipe.run(deployment, pipeline_rng);
+
+    outcome.ok = true;
+    outcome.total_nodes = run.report.total_nodes;
+    outcome.localized = run.report.localized;
+    outcome.placement_rate = run.report.localized_fraction();
+    outcome.average_error_m = run.report.average_error_m;
+    outcome.median_error_m = run.report.median_error_m;
+    outcome.max_error_m = run.report.max_error_m;
+    outcome.stress = run.stress;
+    outcome.augmented_edges = run.augmented_edges;
+    outcome.measured_edges = run.measurements.edge_count() - run.augmented_edges;
+  } catch (const std::exception& e) {
+    outcome.ok = false;  // unknown scenario, fixed-size mismatch, ...
+    outcome.error = e.what();
+  } catch (...) {
+    outcome.ok = false;
+    outcome.error = "unknown error";
+  }
+  outcome.wall_time_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return outcome;
+}
+
+CampaignResult CampaignRunner::run(const SweepSpec& spec) const {
+  const auto start = std::chrono::steady_clock::now();
+
+  CampaignResult result;
+  result.sweep_name = spec.name;
+  result.seed = spec.seed;
+
+  const std::vector<TrialSpec> trials = expand(spec);
+  result.trials.resize(trials.size());
+
+  unsigned threads = options_.threads != 0 ? options_.threads
+                                           : std::max(1u, std::thread::hardware_concurrency());
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, std::max<std::size_t>(1, trials.size())));
+  result.threads_used = threads;
+
+  // Work-stealing over a shared cursor: each worker claims the next
+  // unclaimed trial and writes its outcome into that trial's own slot.
+  std::atomic<std::size_t> cursor{0};
+  const auto worker = [&spec, &trials, &cursor, &result]() {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= trials.size()) return;
+      result.trials[i] = run_trial(spec, trials[i]);
+    }
+  };
+
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Sequential aggregation in cell order: reduction order (and therefore
+  // floating-point rounding) is independent of the schedule above. expand()
+  // is cell-major, so cell c's outcomes are the contiguous slice
+  // [c * trials_per_cell, (c + 1) * trials_per_cell) -- no bucketing copy.
+  const std::size_t cells = cell_count(spec);
+  result.cells.resize(spec.trials_per_cell == 0 ? 0 : cells);
+  for (std::size_t c = 0; c < result.cells.size(); ++c) {
+    const TrialOutcome* begin = result.trials.data() + c * spec.trials_per_cell;
+    result.cells[c].axes = cell_axes(trials[c * spec.trials_per_cell]);
+    result.cells[c].aggregate =
+        resloc::eval::aggregate_trials(begin, begin + spec.trials_per_cell);
+  }
+
+  result.wall_time_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return result;
+}
+
+}  // namespace resloc::runner

@@ -1,0 +1,72 @@
+// Parallel Monte-Carlo campaign execution.
+//
+// CampaignRunner fans a SweepSpec's trials out across a pool of worker
+// threads. Scheduling is work-stealing in the simplest possible form: one
+// shared atomic cursor over the expanded trial list, each worker claiming the
+// next unclaimed trial -- long LSS solves and quick multilateration trials
+// interleave without static partitioning imbalance.
+//
+// Determinism contract: aggregates are bit-identical for a given (spec.seed,
+// spec) at ANY thread count. Three properties make that hold:
+//   1. trial i's randomness is Rng(seed).fork(i) -- derived from the master
+//      seed and the trial's global index only, never from shared RNG state;
+//   2. outcomes are written to outcome slot i, not appended in completion
+//      order;
+//   3. aggregation runs sequentially over slots in index order after the
+//      pool joins, so floating-point reduction order is fixed.
+// Wall-clock timing is recorded per trial but deliberately kept out of the
+// serialized aggregates (see eval/aggregate.hpp).
+//
+// The underlying LocalizationPipeline::run() is const and the solver stack
+// holds no mutable global state (audited: the only statics in src/ are
+// factory functions), so one pipeline configuration is safely shared by all
+// workers while each trial draws from its own forked Rng.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/aggregate.hpp"
+#include "runner/sweep_spec.hpp"
+
+namespace resloc::runner {
+
+struct RunnerOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  unsigned threads = 0;
+};
+
+/// Everything a campaign produced: raw per-trial outcomes (global-index
+/// order) and per-cell aggregates (cell-index order).
+struct CampaignResult {
+  std::string sweep_name;
+  std::uint64_t seed = 0;
+  unsigned threads_used = 1;
+  std::vector<resloc::eval::TrialOutcome> trials;
+  std::vector<resloc::eval::CellResult> cells;
+  double wall_time_s = 0.0;  ///< whole-campaign wall clock (not serialized)
+
+  /// Deterministic serializations of the per-cell aggregates.
+  std::string to_json() const;
+  std::string to_csv() const;
+};
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(RunnerOptions options = {});
+
+  /// Expands the sweep and runs every trial, in parallel when the options
+  /// allow. Never throws on per-trial failure: a trial that cannot build its
+  /// scenario or solve records ok = false and the campaign continues.
+  CampaignResult run(const SweepSpec& spec) const;
+
+  /// Runs a single trial synchronously (the unit the pool schedules);
+  /// exposed for tests and for embedding in existing bench loops.
+  static resloc::eval::TrialOutcome run_trial(const SweepSpec& spec, const TrialSpec& trial);
+
+ private:
+  RunnerOptions options_;
+};
+
+}  // namespace resloc::runner

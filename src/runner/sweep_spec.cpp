@@ -1,0 +1,83 @@
+#include "runner/sweep_spec.hpp"
+
+#include <cstdio>
+
+namespace resloc::runner {
+
+namespace {
+
+// Trims trailing zeros off a %g-style double for compact axis labels.
+std::string label(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
+
+}  // namespace
+
+std::size_t cell_count(const SweepSpec& spec) {
+  const SweepAxes& a = spec.axes;
+  return a.scenarios.size() * a.solvers.size() * a.node_counts.size() *
+         a.noise_sigmas.size() * a.anchor_counts.size() * a.drop_rates.size() *
+         a.augment.size();
+}
+
+std::vector<TrialSpec> expand(const SweepSpec& spec) {
+  std::vector<TrialSpec> trials;
+  trials.reserve(cell_count(spec) * spec.trials_per_cell);
+  const SweepAxes& a = spec.axes;
+  std::size_t cell = 0;
+  for (const std::string& scenario : a.scenarios) {
+    for (const auto solver : a.solvers) {
+      for (const std::size_t nodes : a.node_counts) {
+        for (const double sigma : a.noise_sigmas) {
+          for (const std::size_t anchors : a.anchor_counts) {
+            for (const double drop : a.drop_rates) {
+              for (const bool augment : a.augment) {
+                for (std::size_t rep = 0; rep < spec.trials_per_cell; ++rep) {
+                  TrialSpec t;
+                  t.global_index = trials.size();
+                  t.cell_index = cell;
+                  t.trial_index = rep;
+                  t.scenario = scenario;
+                  t.solver = solver;
+                  t.node_count = nodes;
+                  t.noise_sigma = sigma;
+                  t.anchor_count = anchors;
+                  t.drop_rate = drop;
+                  t.augment = augment;
+                  trials.push_back(std::move(t));
+                }
+                ++cell;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return trials;
+}
+
+std::string solver_name(resloc::pipeline::Solver solver) {
+  switch (solver) {
+    case resloc::pipeline::Solver::kMultilateration: return "multilateration";
+    case resloc::pipeline::Solver::kCentralizedLss: return "lss";
+    case resloc::pipeline::Solver::kDistributedLss: return "distributed_lss";
+  }
+  return "unknown";
+}
+
+std::vector<std::pair<std::string, std::string>> cell_axes(const TrialSpec& trial) {
+  return {
+      {"scenario", trial.scenario},
+      {"solver", solver_name(trial.solver)},
+      {"node_count", std::to_string(trial.node_count)},
+      {"noise_sigma", label(trial.noise_sigma)},
+      {"anchor_count", std::to_string(trial.anchor_count)},
+      {"drop_rate", label(trial.drop_rate)},
+      {"augment", trial.augment ? "on" : "off"},
+  };
+}
+
+}  // namespace resloc::runner

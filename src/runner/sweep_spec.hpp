@@ -1,0 +1,84 @@
+// Declarative parameter sweeps.
+//
+// Every figure in Sections 4.1-4.3 of the paper is a sweep: localization
+// error as a function of node count, noise sigma, anchor count, augmentation,
+// or solver. A SweepSpec names the axes once; expand() cross-products them
+// into a flat list of TrialSpecs (cells x trials_per_cell), each carrying its
+// resolved parameters and a stable global index. The global index is the
+// determinism anchor: trial i always derives its RNG substream as
+// Rng(seed).fork(i), so results are independent of which thread runs which
+// trial and in what order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pipeline/localization_pipeline.hpp"
+
+namespace resloc::runner {
+
+/// The swept axes. Each vector is one axis of the cross product; a
+/// single-element axis pins that parameter. Empty axes make the sweep empty.
+struct SweepAxes {
+  /// Scenario registry names (sim::scenario_names()).
+  std::vector<std::string> scenarios = {"offset_grid"};
+  std::vector<resloc::pipeline::Solver> solvers = {
+      resloc::pipeline::Solver::kMultilateration};
+  /// Target node counts; 0 keeps each scenario's native size.
+  std::vector<std::size_t> node_counts = {0};
+  /// Synthetic/augmentation noise sigma (m).
+  std::vector<double> noise_sigmas = {0.33};
+  /// Random anchors assigned per trial; 0 keeps the scenario's own anchors.
+  std::vector<std::size_t> anchor_counts = {13};
+  /// Fraction of nodes randomly dropped (mote failures), in [0, 1).
+  std::vector<double> drop_rates = {0.0};
+  /// Whether missing in-range pairs are augmented with synthetic distances.
+  std::vector<bool> augment = {false};
+};
+
+/// A full sweep: axes over a base pipeline configuration.
+struct SweepSpec {
+  std::string name = "sweep";
+  /// Master seed; trial i runs on Rng(seed).fork(i).
+  std::uint64_t seed = 1;
+  /// Repetitions per cell (each with a distinct deployment / noise draw).
+  std::size_t trials_per_cell = 1;
+  /// Template configuration; each trial copies it and applies its axis
+  /// values (solver, noise sigma, augmentation).
+  resloc::pipeline::PipelineConfig base;
+  SweepAxes axes;
+};
+
+/// One concrete trial: a cell of the cross product plus a repetition index.
+struct TrialSpec {
+  std::size_t global_index = 0;  ///< position in expand()'s output
+  std::size_t cell_index = 0;
+  std::size_t trial_index = 0;   ///< repetition within the cell
+  std::string scenario;
+  resloc::pipeline::Solver solver = resloc::pipeline::Solver::kMultilateration;
+  std::size_t node_count = 0;
+  double noise_sigma = 0.33;
+  std::size_t anchor_count = 0;
+  double drop_rate = 0.0;
+  bool augment = false;
+};
+
+/// Number of cells in the cross product (0 if any axis is empty).
+std::size_t cell_count(const SweepSpec& spec);
+
+/// Flattens the sweep into cell_count() * trials_per_cell trials, cell-major
+/// (all repetitions of cell 0 first). Deterministic: axis order is fixed as
+/// scenario > solver > node_count > noise_sigma > anchor_count > drop_rate >
+/// augment, slowest axis first.
+std::vector<TrialSpec> expand(const SweepSpec& spec);
+
+/// Human-readable solver name ("multilateration", "lss", "distributed_lss").
+std::string solver_name(resloc::pipeline::Solver solver);
+
+/// The axis coordinates of a trial's cell as (name, value) pairs, in axis
+/// order -- the labels the aggregation layer attaches to each cell.
+std::vector<std::pair<std::string, std::string>> cell_axes(const TrialSpec& trial);
+
+}  // namespace resloc::runner

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace resloc::sim {
 
@@ -24,15 +25,8 @@ Deployment offset_grid(std::size_t columns, std::size_t rows, double column_spac
 }
 
 Deployment offset_grid_with_failures(std::size_t drop_count, resloc::math::Rng& rng) {
-  Deployment full = offset_grid();
-  if (drop_count == 0) return full;
-  const auto drops = rng.sample_indices(full.positions.size(), drop_count);
-  std::vector<bool> dead(full.positions.size(), false);
-  for (std::size_t i : drops) dead[i] = true;
-  Deployment d;
-  for (std::size_t i = 0; i < full.positions.size(); ++i) {
-    if (!dead[i]) d.positions.push_back(full.positions[i]);
-  }
+  Deployment d = offset_grid();
+  drop_random_nodes(d, drop_count, rng);
   return d;
 }
 
@@ -113,6 +107,41 @@ Deployment parking_lot_15() {
   };
   d.anchors = {0, 1, 2, 3, 4};
   return d;
+}
+
+void drop_random_nodes(Deployment& deployment, std::size_t drop_count,
+                       resloc::math::Rng& rng) {
+  if (drop_count == 0 || deployment.positions.empty()) return;
+
+  std::vector<bool> droppable(deployment.positions.size(), true);
+  for (NodeId anchor : deployment.anchors) {
+    if (anchor >= droppable.size()) {
+      throw std::out_of_range("drop_random_nodes: anchor id out of range");
+    }
+    droppable[anchor] = false;
+  }
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < droppable.size(); ++i) {
+    if (droppable[i]) candidates.push_back(i);
+  }
+
+  std::vector<bool> dead(deployment.positions.size(), false);
+  for (std::size_t pick : rng.sample_indices(candidates.size(),
+                                             std::min(drop_count, candidates.size()))) {
+    dead[candidates[pick]] = true;
+  }
+
+  // Compact positions and remap anchor ids to the survivors' new indices.
+  std::vector<NodeId> new_id(deployment.positions.size(), 0);
+  std::vector<resloc::math::Vec2> kept;
+  kept.reserve(deployment.positions.size());
+  for (std::size_t i = 0; i < deployment.positions.size(); ++i) {
+    if (dead[i]) continue;
+    new_id[i] = static_cast<NodeId>(kept.size());
+    kept.push_back(deployment.positions[i]);
+  }
+  for (NodeId& anchor : deployment.anchors) anchor = new_id[anchor];
+  deployment.positions = std::move(kept);
 }
 
 void choose_random_anchors(Deployment& deployment, std::size_t count, resloc::math::Rng& rng) {

@@ -37,8 +37,15 @@ resloc::core::Deployment town_blocks_59();
 /// are the anchors (the 5 loudspeaker-fitted boards).
 resloc::core::Deployment parking_lot_15();
 
-/// Selects `count` random anchors among the deployment's nodes (in place).
+/// Selects `min(count, node count)` distinct random anchors among the
+/// deployment's nodes (in place, replacing any previous anchor set).
 void choose_random_anchors(resloc::core::Deployment& deployment, std::size_t count,
                            resloc::math::Rng& rng);
+
+/// Removes `drop_count` random non-anchor nodes (mote failures) and remaps
+/// the surviving anchor ids to the compacted positions. Throws
+/// std::out_of_range if an anchor id exceeds the node count.
+void drop_random_nodes(resloc::core::Deployment& deployment, std::size_t drop_count,
+                       resloc::math::Rng& rng);
 
 }  // namespace resloc::sim

@@ -1,0 +1,115 @@
+#include "sim/scenario_registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "sim/deployments.hpp"
+
+namespace resloc::sim {
+
+using resloc::core::Deployment;
+using resloc::core::NodeId;
+
+namespace {
+
+// Near-square offset grid with exactly `node_count` positions (row-major
+// trim of the last column), or the canonical 7x7 when node_count is 0.
+Deployment sized_offset_grid(std::size_t node_count) {
+  if (node_count == 0) return offset_grid();
+  const auto rows = static_cast<std::size_t>(
+      std::max(1.0, std::floor(std::sqrt(static_cast<double>(node_count)))));
+  const std::size_t columns = (node_count + rows - 1) / rows;
+  Deployment d = offset_grid(columns, rows);
+  d.positions.resize(node_count);
+  return d;
+}
+
+std::map<std::string, ScenarioBuilder> make_builtins() {
+  std::map<std::string, ScenarioBuilder> m;
+  m["offset_grid"] = [](const ScenarioParams& p, resloc::math::Rng& rng) {
+    Deployment d = sized_offset_grid(p.node_count);
+    drop_random_nodes(d, p.drop_count, rng);
+    return d;
+  };
+  m["grass_grid"] = [](const ScenarioParams& p, resloc::math::Rng& rng) {
+    // The field campaign's grid: 49 positions, 3 failed motes by default.
+    Deployment d = sized_offset_grid(p.node_count);
+    drop_random_nodes(d, p.drop_count == 0 ? 3 : p.drop_count, rng);
+    return d;
+  };
+  // Fixed-geometry scenarios reject a node_count they cannot honor rather
+  // than silently running their native size under a mislabeled sweep axis.
+  m["town"] = [](const ScenarioParams& p, resloc::math::Rng& rng) {
+    if (p.node_count != 0 && p.node_count != 59) {
+      throw std::invalid_argument("scenario 'town' has a fixed 59-node layout");
+    }
+    Deployment d = town_blocks_59();
+    drop_random_nodes(d, p.drop_count, rng);
+    return d;
+  };
+  m["parking_lot"] = [](const ScenarioParams& p, resloc::math::Rng& rng) {
+    if (p.node_count != 0 && p.node_count != 15) {
+      throw std::invalid_argument("scenario 'parking_lot' has a fixed 15-node layout");
+    }
+    Deployment d = parking_lot_15();
+    drop_random_nodes(d, p.drop_count, rng);  // anchors survive
+    return d;
+  };
+  m["random_uniform"] = [](const ScenarioParams& p, resloc::math::Rng& rng) {
+    const std::size_t count = p.node_count == 0 ? 49 : p.node_count;
+    Deployment d =
+        random_uniform(count, p.field_width_m, p.field_height_m, p.min_spacing_m, rng);
+    drop_random_nodes(d, p.drop_count, rng);
+    return d;
+  };
+  return m;
+}
+
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<std::string, ScenarioBuilder>& registry() {
+  static std::map<std::string, ScenarioBuilder> r = make_builtins();
+  return r;
+}
+
+}  // namespace
+
+std::vector<std::string> scenario_names() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, builder] : registry()) names.push_back(name);
+  return names;  // std::map iterates sorted
+}
+
+bool has_scenario(const std::string& name) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  return registry().count(name) != 0;
+}
+
+Deployment build_scenario(const std::string& name, const ScenarioParams& params,
+                          resloc::math::Rng& rng) {
+  ScenarioBuilder builder;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    const auto it = registry().find(name);
+    if (it == registry().end()) {
+      throw std::out_of_range("unknown scenario: " + name);
+    }
+    builder = it->second;  // copy so the build runs outside the lock
+  }
+  return builder(params, rng);
+}
+
+void register_scenario(const std::string& name, ScenarioBuilder builder) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  registry()[name] = std::move(builder);
+}
+
+}  // namespace resloc::sim

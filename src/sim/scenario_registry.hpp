@@ -1,0 +1,61 @@
+// String-keyed scenario registry over the deployment builders.
+//
+// The experiment runner (src/runner) sweeps scenarios by name, so the canned
+// geometries need a uniform, parameterizable entry point: name + params + rng
+// in, deployment out. Built-in scenarios cover every geometry the paper uses;
+// register_scenario() lets future workloads plug in without touching the
+// runner. Lookup is guarded by a mutex so worker threads may build
+// deployments concurrently; registration should still happen up front, before
+// a campaign starts.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "math/rng.hpp"
+
+namespace resloc::sim {
+
+/// Knobs a scenario builder may honor. A zero/default value means "use the
+/// scenario's canonical setting" (e.g. the 49-position grass grid).
+struct ScenarioParams {
+  /// Target node count; 0 keeps the scenario's native size. Grid scenarios
+  /// choose a near-square layout, random_uniform places exactly this many.
+  std::size_t node_count = 0;
+  /// Nodes randomly removed after construction (mote failures). Anchors, if
+  /// the scenario defines any, are never dropped.
+  std::size_t drop_count = 0;
+  /// Field dimensions for the random_uniform scenario.
+  double field_width_m = 70.0;
+  double field_height_m = 70.0;
+  /// Minimum pairwise spacing for the random_uniform scenario.
+  double min_spacing_m = 9.0;
+};
+
+/// Builds a deployment for the given parameters. Must be deterministic in
+/// (params, rng state) and safe to call from multiple threads at once.
+using ScenarioBuilder =
+    std::function<resloc::core::Deployment(const ScenarioParams&, resloc::math::Rng&)>;
+
+/// Registered scenario names, sorted. Built-ins:
+///   "offset_grid"    -- the Figure 5 offset grid (native 49 positions)
+///   "grass_grid"     -- offset grid with 3 failed motes (native 46 nodes)
+///   "town"           -- the 59-node small-town layout of Figures 20-22
+///   "parking_lot"    -- the 15-node / 5-anchor lot of Figure 12
+///   "random_uniform" -- uniform random field with minimum spacing
+std::vector<std::string> scenario_names();
+
+bool has_scenario(const std::string& name);
+
+/// Builds `name` with `params`, drawing randomness from `rng`. Throws
+/// std::out_of_range for an unknown name (has_scenario() to probe).
+resloc::core::Deployment build_scenario(const std::string& name, const ScenarioParams& params,
+                                        resloc::math::Rng& rng);
+
+/// Adds (or replaces) a scenario. Call before campaigns start; the builder
+/// itself must be thread-safe.
+void register_scenario(const std::string& name, ScenarioBuilder builder);
+
+}  // namespace resloc::sim

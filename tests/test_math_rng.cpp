@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 #include "math/rng.hpp"
@@ -135,6 +136,78 @@ TEST(Rng, SplitProducesIndependentStream) {
     if (c == parent.next_u32()) ++same_as_parent;
   }
   EXPECT_LT(same_as_parent, 4);
+}
+
+TEST(Rng, SampleIndicesClampsOversizedRequest) {
+  Rng rng(29);
+  const auto sample = rng.sample_indices(5, 50);
+  EXPECT_EQ(sample.size(), 5u);
+  const std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);  // no duplicate padding
+}
+
+TEST(Rng, ForkIsDeterministicAndOrderIndependent) {
+  const Rng master(101);
+  Rng a = master.fork(7);
+  // Forking other indices first (even from another copy) must not matter.
+  Rng master2(101);
+  master2.fork(3);
+  master2.fork(12345);
+  Rng b = master2.fork(7);
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_EQ(a.next_u32(), b.next_u32());
+  }
+}
+
+TEST(Rng, ForkDoesNotAdvanceParent) {
+  Rng forked(55);
+  Rng untouched(55);
+  forked.fork(0);
+  forked.fork(99);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(forked.next_u32(), untouched.next_u32());
+  }
+}
+
+TEST(Rng, ForkedStreamsAreDecorrelated) {
+  const Rng master(202);
+  // Adjacent indices -- the hardest case for a counter-based scheme -- must
+  // produce streams that neither collide nor track each other.
+  for (std::uint64_t idx : {0ULL, 1ULL, 2ULL, 1000ULL}) {
+    Rng a = master.fork(idx);
+    Rng b = master.fork(idx + 1);
+    int same = 0;
+    std::vector<double> draws_a, draws_b;
+    for (int i = 0; i < 2000; ++i) {
+      const auto ua = a.next_u32();
+      const auto ub = b.next_u32();
+      if (ua == ub) ++same;
+      draws_a.push_back(static_cast<double>(ua));
+      draws_b.push_back(static_cast<double>(ub));
+    }
+    EXPECT_LT(same, 4);
+    // Pearson correlation of the raw outputs should be ~0.
+    const double ma = resloc::math::mean(draws_a);
+    const double mb = resloc::math::mean(draws_b);
+    double cov = 0.0;
+    for (std::size_t i = 0; i < draws_a.size(); ++i) {
+      cov += (draws_a[i] - ma) * (draws_b[i] - mb);
+    }
+    cov /= static_cast<double>(draws_a.size());
+    const double corr =
+        cov / (resloc::math::stddev(draws_a) * resloc::math::stddev(draws_b));
+    EXPECT_LT(std::abs(corr), 0.08) << "index " << idx;
+  }
+}
+
+TEST(Rng, ForkDiffersFromParentContinuation) {
+  Rng parent(303);
+  Rng child = parent.fork(0);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.next_u32() == parent.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 4);
 }
 
 }  // namespace

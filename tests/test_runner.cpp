@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "runner/campaign_runner.hpp"
+#include "runner/sweep_spec.hpp"
+
+namespace {
+
+using resloc::pipeline::MeasurementSource;
+using resloc::pipeline::Solver;
+using resloc::runner::CampaignResult;
+using resloc::runner::CampaignRunner;
+using resloc::runner::RunnerOptions;
+using resloc::runner::SweepSpec;
+using resloc::runner::TrialSpec;
+
+// A small but genuinely multi-axis sweep that runs in well under a second:
+// synthetic measurements + multilateration on modest grids.
+SweepSpec small_sweep() {
+  SweepSpec spec;
+  spec.name = "unit";
+  spec.seed = 42;
+  spec.trials_per_cell = 3;
+  spec.base.source = MeasurementSource::kSyntheticGaussian;
+  spec.axes.scenarios = {"offset_grid"};
+  spec.axes.solvers = {Solver::kMultilateration};
+  spec.axes.node_counts = {16, 25};
+  spec.axes.noise_sigmas = {0.33, 1.0};
+  spec.axes.anchor_counts = {6};
+  spec.axes.augment = {false};
+  return spec;
+}
+
+TEST(SweepSpec, ExpandCrossProductsAllAxes) {
+  SweepSpec spec = small_sweep();
+  EXPECT_EQ(resloc::runner::cell_count(spec), 4u);  // 2 node counts x 2 sigmas
+  const auto trials = resloc::runner::expand(spec);
+  ASSERT_EQ(trials.size(), 12u);  // 4 cells x 3 repetitions
+  // Global indices are positional; cells are cell-major.
+  std::set<std::size_t> cells;
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    EXPECT_EQ(trials[i].global_index, i);
+    cells.insert(trials[i].cell_index);
+    EXPECT_EQ(trials[i].cell_index, i / spec.trials_per_cell);
+    EXPECT_EQ(trials[i].trial_index, i % spec.trials_per_cell);
+  }
+  EXPECT_EQ(cells.size(), 4u);
+}
+
+TEST(SweepSpec, EmptyAxisMakesEmptySweep) {
+  SweepSpec spec = small_sweep();
+  spec.axes.noise_sigmas.clear();
+  EXPECT_EQ(resloc::runner::cell_count(spec), 0u);
+  EXPECT_TRUE(resloc::runner::expand(spec).empty());
+}
+
+TEST(CampaignRunner, EmptySweepProducesValidEmptyResult) {
+  SweepSpec spec = small_sweep();
+  spec.axes.scenarios.clear();
+  const CampaignResult result = CampaignRunner(RunnerOptions{4}).run(spec);
+  EXPECT_TRUE(result.trials.empty());
+  EXPECT_TRUE(result.cells.empty());
+  const std::string json = result.to_json();
+  EXPECT_NE(json.find("\"cell_count\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"cells\": ["), std::string::npos);
+}
+
+TEST(CampaignRunner, SingleTrialSweep) {
+  SweepSpec spec = small_sweep();
+  spec.trials_per_cell = 1;
+  spec.axes.node_counts = {16};
+  spec.axes.noise_sigmas = {0.33};
+  const CampaignResult result = CampaignRunner(RunnerOptions{1}).run(spec);
+  ASSERT_EQ(result.trials.size(), 1u);
+  ASSERT_EQ(result.cells.size(), 1u);
+  EXPECT_TRUE(result.trials[0].ok);
+  EXPECT_GT(result.trials[0].localized, 0u);
+  EXPECT_EQ(result.cells[0].aggregate.trials, 1u);
+  EXPECT_EQ(result.cells[0].aggregate.ok_trials, 1u);
+}
+
+TEST(CampaignRunner, UnknownScenarioFailsTrialNotCampaign) {
+  SweepSpec spec = small_sweep();
+  spec.axes.scenarios = {"no_such_scenario"};
+  spec.trials_per_cell = 1;
+  const CampaignResult result = CampaignRunner(RunnerOptions{2}).run(spec);
+  ASSERT_EQ(result.trials.size(), 4u);
+  for (const auto& t : result.trials) {
+    EXPECT_FALSE(t.ok);
+    EXPECT_NE(t.error.find("no_such_scenario"), std::string::npos);
+  }
+  for (const auto& c : result.cells) EXPECT_EQ(c.aggregate.ok_trials, 0u);
+  // Absent error statistics serialize as null, not a perfect-looking 0.
+  const std::string json = result.to_json();
+  EXPECT_NE(json.find("\"mean_error_m\": null"), std::string::npos);
+  EXPECT_EQ(json.find("\"mean_error_m\": 0"), std::string::npos);
+}
+
+TEST(CampaignRunner, AggregatesAreIdenticalAcrossThreadCounts) {
+  const SweepSpec spec = small_sweep();
+  const CampaignResult serial = CampaignRunner(RunnerOptions{1}).run(spec);
+  const CampaignResult parallel4 = CampaignRunner(RunnerOptions{4}).run(spec);
+  const CampaignResult parallel7 = CampaignRunner(RunnerOptions{7}).run(spec);
+
+  // The acceptance bar: byte-identical serialized aggregates.
+  const std::string json1 = serial.to_json();
+  EXPECT_EQ(json1, parallel4.to_json());
+  EXPECT_EQ(json1, parallel7.to_json());
+  EXPECT_EQ(serial.to_csv(), parallel4.to_csv());
+
+  // And the raw per-trial outcomes agree slot by slot (not just in aggregate).
+  ASSERT_EQ(serial.trials.size(), parallel4.trials.size());
+  for (std::size_t i = 0; i < serial.trials.size(); ++i) {
+    EXPECT_EQ(serial.trials[i].average_error_m, parallel4.trials[i].average_error_m) << i;
+    EXPECT_EQ(serial.trials[i].localized, parallel4.trials[i].localized) << i;
+  }
+}
+
+TEST(CampaignRunner, DifferentSeedsProduceDifferentResults) {
+  SweepSpec spec = small_sweep();
+  const std::string a = CampaignRunner(RunnerOptions{2}).run(spec).to_json();
+  spec.seed = 43;
+  const std::string b = CampaignRunner(RunnerOptions{2}).run(spec).to_json();
+  EXPECT_NE(a, b);
+}
+
+TEST(CampaignRunner, RunTrialMatchesPoolExecution) {
+  const SweepSpec spec = small_sweep();
+  const auto trials = resloc::runner::expand(spec);
+  const CampaignResult pooled = CampaignRunner(RunnerOptions{4}).run(spec);
+  // Re-running trial 5 standalone reproduces the pooled slot exactly.
+  const auto solo = CampaignRunner::run_trial(spec, trials[5]);
+  EXPECT_EQ(solo.average_error_m, pooled.trials[5].average_error_m);
+  EXPECT_EQ(solo.localized, pooled.trials[5].localized);
+  EXPECT_EQ(solo.measured_edges, pooled.trials[5].measured_edges);
+}
+
+}  // namespace

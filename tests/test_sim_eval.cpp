@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <set>
+#include <stdexcept>
 
 #include "eval/metrics.hpp"
 #include <fstream>
@@ -11,6 +12,8 @@
 #include "math/transform2d.hpp"
 #include "sim/deployments.hpp"
 #include "sim/measurement_gen.hpp"
+#include "sim/scenario_registry.hpp"
+#include "sim/scenarios.hpp"
 
 namespace {
 
@@ -113,6 +116,90 @@ TEST(Deployments, RandomAnchors) {
   const std::set<NodeId> unique(d.anchors.begin(), d.anchors.end());
   EXPECT_EQ(unique.size(), 13u);
   EXPECT_TRUE(std::is_sorted(d.anchors.begin(), d.anchors.end()));
+}
+
+// Regression: an anchor request larger than the deployment used to be
+// forwarded unchecked into sample_indices, which in release builds padded
+// the pick list with duplicate zero indices.
+TEST(Deployments, AssignRandomAnchorsClampsOversizedCount) {
+  auto d = offset_grid(3, 3);  // 9 nodes
+  assign_random_anchors(d, 50, /*seed=*/7);
+  EXPECT_EQ(d.anchors.size(), 9u);
+  const std::set<NodeId> unique(d.anchors.begin(), d.anchors.end());
+  EXPECT_EQ(unique.size(), 9u);  // distinct picks, no duplicates
+  for (NodeId id : d.anchors) EXPECT_LT(id, 9u);
+}
+
+TEST(Deployments, AssignRandomAnchorsReplacesPreviousSet) {
+  auto d = offset_grid();
+  assign_random_anchors(d, 13, 1);
+  assign_random_anchors(d, 5, 2);  // second call must not accumulate
+  EXPECT_EQ(d.anchors.size(), 5u);
+  const std::set<NodeId> unique(d.anchors.begin(), d.anchors.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(ScenarioRegistry, BuiltinsPresent) {
+  for (const char* name :
+       {"offset_grid", "grass_grid", "town", "parking_lot", "random_uniform"}) {
+    EXPECT_TRUE(has_scenario(name)) << name;
+  }
+  EXPECT_FALSE(has_scenario("no_such_scenario"));
+  const auto names = scenario_names();
+  EXPECT_GE(names.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(ScenarioRegistry, BuildsParameterizedDeployments) {
+  Rng rng(11);
+  ScenarioParams params;
+  params.node_count = 25;
+  const auto grid = build_scenario("offset_grid", params, rng);
+  EXPECT_EQ(grid.size(), 25u);
+
+  ScenarioParams defaults;
+  Rng rng2(11);
+  EXPECT_EQ(build_scenario("grass_grid", defaults, rng2).size(), 46u);  // 49 - 3 failures
+  EXPECT_EQ(build_scenario("town", defaults, rng2).size(), 59u);
+  EXPECT_EQ(build_scenario("parking_lot", defaults, rng2).anchors.size(), 5u);
+  EXPECT_THROW(build_scenario("no_such_scenario", defaults, rng2), std::out_of_range);
+}
+
+TEST(ScenarioRegistry, FixedGeometryRejectsMismatchedNodeCount) {
+  Rng rng(19);
+  ScenarioParams params;
+  params.node_count = 25;  // town is a fixed 59-node layout
+  EXPECT_THROW(build_scenario("town", params, rng), std::invalid_argument);
+  EXPECT_THROW(build_scenario("parking_lot", params, rng), std::invalid_argument);
+  params.node_count = 59;  // the native size is accepted
+  EXPECT_EQ(build_scenario("town", params, rng).size(), 59u);
+}
+
+TEST(ScenarioRegistry, DropPreservesAnchorsAndRemapsIds) {
+  Rng rng(13);
+  ScenarioParams params;
+  params.drop_count = 4;
+  const auto lot = build_scenario("parking_lot", params, rng);
+  EXPECT_EQ(lot.size(), 11u);  // 15 - 4, anchors never dropped
+  EXPECT_EQ(lot.anchors.size(), 5u);
+  for (NodeId id : lot.anchors) EXPECT_LT(id, lot.size());
+  const std::set<NodeId> unique(lot.anchors.begin(), lot.anchors.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(ScenarioRegistry, RegisterCustomScenario) {
+  register_scenario("unit_test_line", [](const ScenarioParams& p, Rng&) {
+    Deployment d;
+    const std::size_t n = p.node_count == 0 ? 3 : p.node_count;
+    for (std::size_t i = 0; i < n; ++i) {
+      d.positions.push_back(Vec2{static_cast<double>(i) * 10.0, 0.0});
+    }
+    return d;
+  });
+  Rng rng(17);
+  ScenarioParams params;
+  params.node_count = 6;
+  EXPECT_EQ(build_scenario("unit_test_line", params, rng).size(), 6u);
 }
 
 TEST(MeasurementGen, PerfectMeasurementsRespectCutoff) {
