@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "acoustics/environment.hpp"
+#include "acoustics/units.hpp"
 #include "eval/aggregate.hpp"
 #include "eval/report.hpp"
 #include "runner/campaign_runner.hpp"
@@ -104,6 +106,36 @@ std::map<std::string, NamedSweep> sweep_catalog() {
     spec.axes.anchor_counts = {13};
     catalog["solvers"] = {"multilateration vs centralized LSS, dense synthetic (20 trials)",
                           spec};
+  }
+  {  // The full Section 3 service swept across terrains and hardware: every
+     // trial runs the complete acoustic campaign (chirp patterns, 4-bit
+     // accumulation, T-of-k detection, silence verification, filtering,
+     // bidirectional consistency) instead of the Gaussian shortcut.
+    SweepSpec spec;
+    spec.name = "acoustic";
+    spec.base.source = MeasurementSource::kAcousticRanging;
+    spec.trials_per_cell = 2;
+    spec.axes.scenarios = {"grass_grid"};
+    spec.axes.node_counts = {25};
+    spec.axes.anchor_counts = {8};
+    spec.axes.environments = {"grass", "pavement", "urban"};
+    spec.axes.unit_models = {"calibrated", "degraded"};
+    catalog["acoustic"] = {
+        "full acoustic ranging campaign vs terrain x unit quality (6 cells, 12 trials)", spec};
+  }
+  {  // Detector operating-point sweep: the Section 3.6 calibration question
+     // "how many chirps and how high a threshold" as a 2-D cell grid.
+    SweepSpec spec;
+    spec.name = "ranging";
+    spec.base.source = MeasurementSource::kAcousticRanging;
+    spec.trials_per_cell = 2;
+    spec.axes.scenarios = {"grass_grid"};
+    spec.axes.node_counts = {16};
+    spec.axes.anchor_counts = {6};
+    spec.axes.chirp_counts = {5, 10, 15};
+    spec.axes.detection_thresholds = {1, 2, 4};
+    catalog["ranging"] = {
+        "acoustic detector operating point: chirps k x threshold T (9 cells, 18 trials)", spec};
   }
   return catalog;
 }
@@ -197,6 +229,14 @@ int main(int argc, char** argv) {
     }
     std::puts("\nscenarios:");
     for (const auto& name : resloc::sim::scenario_names()) {
+      std::printf("  %s\n", name.c_str());
+    }
+    std::puts("\nenvironments (acoustic axis; plus \"scenario\" = each scenario's site):");
+    for (const auto& name : resloc::acoustics::environment_names()) {
+      std::printf("  %s\n", name.c_str());
+    }
+    std::puts("\nunit models (acoustic axis):");
+    for (const auto& name : resloc::acoustics::unit_model_names()) {
       std::printf("  %s\n", name.c_str());
     }
     return 0;

@@ -11,6 +11,17 @@ ReceivedWindow receive(const std::vector<Emission>& emissions, double window_sta
                        const MicUnit& mic, const EnvironmentProfile& env,
                        const ChannelJitter& jitter, resloc::math::Rng& rng) {
   ReceivedWindow window;
+  receive_into(window, emissions, window_start_s, window_duration_s, distance_m, speaker, mic,
+               env, jitter, rng);
+  return window;
+}
+
+void receive_into(ReceivedWindow& window, const std::vector<Emission>& emissions,
+                  double window_start_s, double window_duration_s, double distance_m,
+                  const SpeakerUnit& speaker, const MicUnit& mic, const EnvironmentProfile& env,
+                  const ChannelJitter& jitter, resloc::math::Rng& rng) {
+  window.signals.clear();
+  window.bursts.clear();
   window.start_s = window_start_s;
   window.duration_s = window_duration_s;
   const double window_end = window_start_s + window_duration_s;
@@ -65,7 +76,6 @@ ReceivedWindow receive(const std::vector<Emission>& emissions, double window_sta
 
   std::sort(window.signals.begin(), window.signals.end(),
             [](const SignalInterval& a, const SignalInterval& b) { return a.start_s < b.start_s; });
-  return window;
 }
 
 }  // namespace resloc::acoustics

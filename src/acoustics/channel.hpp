@@ -75,4 +75,11 @@ ReceivedWindow receive(const std::vector<Emission>& emissions, double window_sta
                        const MicUnit& mic, const EnvironmentProfile& env,
                        const ChannelJitter& jitter, resloc::math::Rng& rng);
 
+/// receive() into a caller-owned window, reusing its signal/burst vectors
+/// across a campaign's pairs. Draw-for-draw identical to receive().
+void receive_into(ReceivedWindow& window, const std::vector<Emission>& emissions,
+                  double window_start_s, double window_duration_s, double distance_m,
+                  const SpeakerUnit& speaker, const MicUnit& mic, const EnvironmentProfile& env,
+                  const ChannelJitter& jitter, resloc::math::Rng& rng);
+
 }  // namespace resloc::acoustics

@@ -28,4 +28,8 @@ struct ChirpPattern {
 /// chirp, including the per-chirp random delays.
 std::vector<double> chirp_start_times(const ChirpPattern& pattern, resloc::math::Rng& rng);
 
+/// chirp_start_times() into a caller-owned buffer, reused across sequences.
+void chirp_start_times_into(const ChirpPattern& pattern, resloc::math::Rng& rng,
+                            std::vector<double>& starts);
+
 }  // namespace resloc::acoustics

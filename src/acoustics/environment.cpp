@@ -1,6 +1,20 @@
 #include "acoustics/environment.hpp"
 
+#include <stdexcept>
+
 namespace resloc::acoustics {
+
+std::vector<std::string> environment_names() {
+  return {"grass", "pavement", "urban", "wooded"};
+}
+
+EnvironmentProfile environment_by_name(const std::string& name) {
+  if (name == "grass") return EnvironmentProfile::grass();
+  if (name == "pavement") return EnvironmentProfile::pavement();
+  if (name == "urban") return EnvironmentProfile::urban();
+  if (name == "wooded") return EnvironmentProfile::wooded();
+  throw std::invalid_argument("unknown acoustic environment: " + name);
+}
 
 EnvironmentProfile EnvironmentProfile::grass() {
   EnvironmentProfile e;

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 namespace resloc::acoustics {
 
@@ -72,5 +73,14 @@ struct EnvironmentProfile {
   /// Wooded area with >20 cm grass and scattered trees; strongest absorption.
   static EnvironmentProfile wooded();
 };
+
+/// The four built-in profile names, sorted ("grass", "pavement", "urban",
+/// "wooded") -- the value set of the experiment runner's environment axis.
+std::vector<std::string> environment_names();
+
+/// Profile factory by name. Throws std::invalid_argument for an unknown name
+/// so a mistyped sweep axis fails the trial loudly instead of silently
+/// running the default terrain.
+EnvironmentProfile environment_by_name(const std::string& name);
 
 }  // namespace resloc::acoustics

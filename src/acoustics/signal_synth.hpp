@@ -40,4 +40,50 @@ std::vector<double> synthesize_waveform(const WaveformSpec& spec,
 std::vector<ChirpPlacement> periodic_chirps(std::size_t count, std::size_t first_start,
                                             std::size_t period, std::size_t length);
 
+/// Reusable synthesis engine for per-pair campaign loops.
+///
+/// The free function above prices every chirp sample at one std::sin call and
+/// every capture at a fresh allocation; across a campaign's pairs x rounds x
+/// chirps that dominates the synthesis cost. This class removes both:
+///   - chirp tone templates (sin/cos lookup tables) are computed once per
+///     (sample rate, tone frequency) and reused for every placement via the
+///     angle-addition identity -- two multiplies per sample, two std::sin
+///     calls per chirp regardless of length;
+///   - synthesize_into() writes into a caller-owned buffer, so a pair loop
+///     reuses one allocation for every capture.
+/// Not thread-safe; give each worker its own synthesizer (the templates are
+/// small and rebuild in microseconds).
+class WaveformSynthesizer {
+ public:
+  /// Like synthesize_waveform, but reusing `wave`'s storage and the cached
+  /// templates. The output differs from the free function only by
+  /// floating-point rounding of the tone samples (|delta| ~ 1 ulp).
+  void synthesize_into(std::vector<double>& wave, const WaveformSpec& spec,
+                       const std::vector<ChirpPlacement>& chirps, std::size_t num_samples,
+                       resloc::math::Rng& rng);
+
+  /// Allocating convenience wrapper over synthesize_into.
+  std::vector<double> synthesize(const WaveformSpec& spec,
+                                 const std::vector<ChirpPlacement>& chirps,
+                                 std::size_t num_samples, resloc::math::Rng& rng);
+
+  /// Cached (sample rate, frequency) tone templates currently held.
+  std::size_t cached_templates() const { return templates_.size(); }
+
+ private:
+  struct ToneTemplate {
+    double sample_rate_hz = 0.0;
+    double frequency_hz = 0.0;
+    std::vector<double> sin_t;  ///< sin(2*pi*f*i/fs), i in [0, length)
+    std::vector<double> cos_t;
+  };
+
+  /// Returns the template for (rate, frequency), extended to at least
+  /// `length` samples.
+  const ToneTemplate& tone_template(double sample_rate_hz, double frequency_hz,
+                                    std::size_t length);
+
+  std::vector<ToneTemplate> templates_;
+};
+
 }  // namespace resloc::acoustics

@@ -1,6 +1,7 @@
 #include "acoustics/tone_detector.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "acoustics/propagation.hpp"
 
@@ -16,37 +17,57 @@ ToneDetectorModel::ToneDetectorModel(EnvironmentProfile env, double sample_rate_
 std::vector<bool> ToneDetectorModel::sample_window(const ReceivedWindow& window,
                                                    std::size_t num_samples, const MicUnit& mic,
                                                    resloc::math::Rng& rng) const {
-  std::vector<bool> out(num_samples, false);
+  DetectorScratch scratch;
+  std::vector<bool> out;
+  sample_window_into(window, num_samples, mic, rng, scratch, out);
+  return out;
+}
+
+void sample_bracket(double window_start_s, double dt, std::size_t num_samples, double start_s,
+                    double end_s, std::size_t& lo, std::size_t& hi) {
+  const double n = static_cast<double>(num_samples);
+  const double lo_d = std::min(n, std::max(0.0, std::floor((start_s - window_start_s) / dt) - 1.0));
+  const double hi_d = std::min(n, std::max(0.0, std::ceil((end_s - window_start_s) / dt) + 1.0));
+  lo = static_cast<std::size_t>(lo_d);
+  hi = static_cast<std::size_t>(hi_d);
+}
+
+void ToneDetectorModel::sample_window_into(const ReceivedWindow& window,
+                                           std::size_t num_samples, const MicUnit& mic,
+                                           resloc::math::Rng& rng, DetectorScratch& scratch,
+                                           std::vector<bool>& out) const {
   const double dt = sample_period_s();
+  scratch.best_snr.assign(num_samples, -1e9);
+  scratch.tone.assign(num_samples, 0);
+  scratch.burst.assign(num_samples, 0);
+
+  // Rasterize each interval onto the few samples it can cover. The predicate
+  // inside the bracket is the same t >= start && t < end comparison the naive
+  // per-sample scan used, so the outputs match it bit for bit.
+  for (const SignalInterval& s : window.signals) {
+    for_each_sample_in_interval(window.start_s, dt, num_samples, s.start_s, s.end_s,
+                                [&](std::size_t i) {
+                                  scratch.tone[i] = 1;
+                                  scratch.best_snr[i] = std::max(scratch.best_snr[i], s.snr_db);
+                                });
+  }
+  for (const NoiseBurst& b : window.bursts) {
+    for_each_sample_in_interval(window.start_s, dt, num_samples, b.start_s, b.end_s,
+                                [&](std::size_t i) { scratch.burst[i] = 1; });
+  }
+
+  out.assign(num_samples, false);
   for (std::size_t i = 0; i < num_samples; ++i) {
-    const double t = window.start_s + static_cast<double>(i) * dt;
-
-    // Strongest tone component audible at t, if any.
-    double best_snr = -1e9;
-    bool tone_present = false;
-    for (const SignalInterval& s : window.signals) {
-      if (t >= s.start_s && t < s.end_s) {
-        tone_present = true;
-        best_snr = std::max(best_snr, s.snr_db);
-      }
-    }
-
     double p;
-    if (tone_present) {
-      p = detection_probability(best_snr);
+    if (scratch.tone[i] != 0) {
+      p = detection_probability(scratch.best_snr[i]);
     } else {
-      p = env_.false_positive_rate;
-      for (const NoiseBurst& b : window.bursts) {
-        if (t >= b.start_s && t < b.end_s) {
-          p = env_.noise_burst_false_positive_rate;
-          break;
-        }
-      }
+      p = scratch.burst[i] != 0 ? env_.noise_burst_false_positive_rate
+                                : env_.false_positive_rate;
       if (mic.faulty) p = std::max(p, kFaultyMicFalsePositiveRate);
     }
     out[i] = rng.bernoulli(p);
   }
-  return out;
 }
 
 }  // namespace resloc::acoustics

@@ -8,11 +8,44 @@
 // that binary process from a ReceivedWindow.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "acoustics/channel.hpp"
 
 namespace resloc::acoustics {
+
+/// Reusable buffers for ToneDetectorModel::sample_window_into; keep one per
+/// worker thread and reuse it across a campaign's pairs.
+struct DetectorScratch {
+  std::vector<double> best_snr;      ///< strongest audible tone per sample
+  std::vector<std::uint8_t> tone;    ///< 1 = some tone interval covers the sample
+  std::vector<std::uint8_t> burst;   ///< 1 = a noise burst covers the sample
+};
+
+/// Conservative sample-index bracket of [start_s, end_s) within a window of
+/// `num_samples` starting at `window_start_s` with period `sample_period_s`:
+/// one sample of slack on each side absorbs the division rounding, and the
+/// caller's exact per-sample predicate decides inside it. Shared by the
+/// hardware detector model and the software (Goertzel) path so both rasterize
+/// intervals identically.
+void sample_bracket(double window_start_s, double sample_period_s, std::size_t num_samples,
+                    double start_s, double end_s, std::size_t& lo, std::size_t& hi);
+
+/// Invokes `fn(i)` for every sample index i whose time lies in [start_s,
+/// end_s): brackets conservatively, then decides with the exact per-sample
+/// predicate. All interval rasterization (hardware detector model, software
+/// Goertzel path) goes through here so the paths cannot drift apart.
+template <typename Fn>
+void for_each_sample_in_interval(double window_start_s, double sample_period_s,
+                                 std::size_t num_samples, double start_s, double end_s, Fn&& fn) {
+  std::size_t lo = 0, hi = 0;
+  sample_bracket(window_start_s, sample_period_s, num_samples, start_s, end_s, lo, hi);
+  for (std::size_t i = lo; i < hi; ++i) {
+    const double t = window_start_s + static_cast<double>(i) * sample_period_s;
+    if (t >= start_s && t < end_s) fn(i);
+  }
+}
 
 /// Samples the binary tone-detector output over a received window.
 class ToneDetectorModel {
@@ -26,6 +59,16 @@ class ToneDetectorModel {
   /// (Section 3.4, source 3/7).
   std::vector<bool> sample_window(const ReceivedWindow& window, std::size_t num_samples,
                                   const MicUnit& mic, resloc::math::Rng& rng) const;
+
+  /// sample_window() into caller-owned buffers: `out` receives the binary
+  /// series, `scratch` absorbs the per-call working storage. Output (and RNG
+  /// consumption) is bit-identical to sample_window(); the difference is the
+  /// cost model -- intervals are rasterized onto the samples they can touch
+  /// instead of every sample scanning every interval, and nothing allocates
+  /// once the buffers have grown to the window size.
+  void sample_window_into(const ReceivedWindow& window, std::size_t num_samples,
+                          const MicUnit& mic, resloc::math::Rng& rng, DetectorScratch& scratch,
+                          std::vector<bool>& out) const;
 
   double sample_rate_hz() const { return sample_rate_hz_; }
   double sample_period_s() const { return 1.0 / sample_rate_hz_; }

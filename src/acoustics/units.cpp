@@ -1,5 +1,7 @@
 #include "acoustics/units.hpp"
 
+#include <stdexcept>
+
 namespace resloc::acoustics {
 
 SpeakerUnit UnitVariationModel::sample_speaker(double nominal_db, resloc::math::Rng& rng) const {
@@ -15,6 +17,29 @@ MicUnit UnitVariationModel::sample_mic(resloc::math::Rng& rng) const {
   m.sensitivity_db = rng.gaussian(0.0, mic_stddev_db);
   m.faulty = rng.bernoulli(fault_probability);
   return m;
+}
+
+std::vector<std::string> unit_model_names() { return {"calibrated", "degraded", "nominal"}; }
+
+UnitVariationModel unit_model_by_name(const std::string& name) {
+  if (name == "calibrated") return UnitVariationModel{};
+  if (name == "degraded") {
+    UnitVariationModel m;
+    m.speaker_stddev_db = 3.4;
+    m.mic_stddev_db = 2.0;
+    m.onset_delay_stddev_s = 0.0008;
+    m.fault_probability = 0.08;
+    return m;
+  }
+  if (name == "nominal") {
+    UnitVariationModel m;
+    m.speaker_stddev_db = 0.0;
+    m.mic_stddev_db = 0.0;
+    m.onset_delay_stddev_s = 0.0;
+    m.fault_probability = 0.0;
+    return m;
+  }
+  throw std::invalid_argument("unknown unit-variation model: " + name);
 }
 
 }  // namespace resloc::acoustics

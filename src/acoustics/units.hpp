@@ -7,6 +7,9 @@
 // loudspeakers." Faulty hardware occasionally produces very large errors.
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "math/rng.hpp"
 
 namespace resloc::acoustics {
@@ -48,5 +51,16 @@ struct UnitVariationModel {
   SpeakerUnit sample_speaker(double nominal_db, resloc::math::Rng& rng) const;
   MicUnit sample_mic(resloc::math::Rng& rng) const;
 };
+
+/// Named unit-variation presets, sorted -- the value set of the experiment
+/// runner's unit-model axis:
+///   "calibrated" -- the paper-calibrated defaults above,
+///   "degraded"   -- aged hardware: double the spread, 8 % fault rate,
+///   "nominal"    -- idealized identical units, no faults (isolates the
+///                   channel/detector error sources from hardware variation).
+std::vector<std::string> unit_model_names();
+
+/// Preset factory by name. Throws std::invalid_argument for an unknown name.
+UnitVariationModel unit_model_by_name(const std::string& name);
 
 }  // namespace resloc::acoustics

@@ -49,6 +49,7 @@ CellAggregate aggregate_trials(const TrialOutcome* begin, const TrialOutcome* en
   double placement_sum = 0.0;
   double edges_sum = 0.0;
   double augmented_sum = 0.0;
+  double skipped_sum = 0.0;
   double worst = 0.0;
 
   for (const TrialOutcome* it = begin; it != end; ++it) {
@@ -59,6 +60,7 @@ CellAggregate aggregate_trials(const TrialOutcome* begin, const TrialOutcome* en
     placement_sum += t.placement_rate;
     edges_sum += static_cast<double>(t.measured_edges);
     augmented_sum += static_cast<double>(t.augmented_edges);
+    skipped_sum += static_cast<double>(t.skipped_pairs);
     if (t.localized == 0) continue;
     ++agg.scored_trials;
     avg_errors.push_back(t.average_error_m);
@@ -71,12 +73,14 @@ CellAggregate aggregate_trials(const TrialOutcome* begin, const TrialOutcome* en
     agg.mean_placement_rate = placement_sum / n;
     agg.mean_measured_edges = edges_sum / n;
     agg.mean_augmented_edges = augmented_sum / n;
+    agg.mean_skipped_pairs = skipped_sum / n;
   } else {
     // No trial ran to completion: these statistics are absent, not zero.
     const double nan = std::numeric_limits<double>::quiet_NaN();
     agg.mean_placement_rate = nan;
     agg.mean_measured_edges = nan;
     agg.mean_augmented_edges = nan;
+    agg.mean_skipped_pairs = nan;
   }
   if (!avg_errors.empty()) {
     agg.mean_error_m = resloc::math::mean(avg_errors);
@@ -131,7 +135,8 @@ std::string campaign_to_json(const std::string& sweep_name, std::uint64_t seed,
     out += "      \"mean_placement_rate\": " + number(g.mean_placement_rate) + ",\n";
     out += "      \"mean_stress\": " + number(g.mean_stress) + ",\n";
     out += "      \"mean_measured_edges\": " + number(g.mean_measured_edges) + ",\n";
-    out += "      \"mean_augmented_edges\": " + number(g.mean_augmented_edges) + "\n";
+    out += "      \"mean_augmented_edges\": " + number(g.mean_augmented_edges) + ",\n";
+    out += "      \"mean_skipped_pairs\": " + number(g.mean_skipped_pairs) + "\n";
     out += "    }";
   }
   out += cells.empty() ? "],\n" : "\n  ],\n";
@@ -150,7 +155,7 @@ std::string campaign_to_csv(const std::vector<CellResult>& cells) {
   out +=
       "trials,ok_trials,scored_trials,mean_error_m,median_error_m,p95_error_m,"
       "max_error_m,mean_placement_rate,mean_stress,mean_measured_edges,"
-      "mean_augmented_edges\n";
+      "mean_augmented_edges,mean_skipped_pairs\n";
   for (const CellResult& cell : cells) {
     for (const auto& [name, value] : cell.axes) out += value + ",";
     const CellAggregate& g = cell.aggregate;
@@ -159,7 +164,8 @@ std::string campaign_to_csv(const std::vector<CellResult>& cells) {
            format_value(g.median_error_m) + "," + format_value(g.p95_error_m) + "," +
            format_value(g.max_error_m) + "," + format_value(g.mean_placement_rate) + "," +
            format_value(g.mean_stress) + "," + format_value(g.mean_measured_edges) + "," +
-           format_value(g.mean_augmented_edges) + "\n";
+           format_value(g.mean_augmented_edges) + "," + format_value(g.mean_skipped_pairs) +
+           "\n";
   }
   return out;
 }

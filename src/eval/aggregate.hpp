@@ -33,6 +33,10 @@ struct TrialOutcome {
   double stress = 0.0;           ///< NaN for solvers without a global stress
   std::size_t measured_edges = 0;
   std::size_t augmented_edges = 0;
+  /// Pairs the acoustic campaign skipped as beyond its range cutoff (0 for
+  /// synthetic sources). Lets sparse-campaign cells be told apart from
+  /// detector failures in the aggregates.
+  std::size_t skipped_pairs = 0;
   double wall_time_s = 0.0;      ///< excluded from deterministic emitters
   /// What went wrong when !ok (e.g. "unknown scenario: ..."). Diagnostics
   /// only; not part of the serialized aggregates.
@@ -55,6 +59,7 @@ struct CellAggregate {
   double mean_stress = 0.0;        ///< over trials with finite stress; NaN if none
   double mean_measured_edges = 0.0;
   double mean_augmented_edges = 0.0;
+  double mean_skipped_pairs = 0.0;
   double total_wall_time_s = 0.0;  ///< excluded from deterministic emitters
 };
 

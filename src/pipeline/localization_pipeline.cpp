@@ -8,13 +8,16 @@ LocalizationPipeline::LocalizationPipeline(PipelineConfig config) : config_(std:
 
 core::MeasurementSet LocalizationPipeline::measure(const core::Deployment& deployment,
                                                    resloc::math::Rng& rng,
-                                                   std::size_t* augmented_edges) const {
+                                                   std::size_t* augmented_edges,
+                                                   std::size_t* skipped_pairs) const {
   core::MeasurementSet measurements;
+  std::size_t skipped = 0;
   switch (config_.source) {
     case MeasurementSource::kAcousticRanging: {
       const sim::FieldExperimentData data =
           sim::run_field_experiment(deployment, config_.campaign, rng);
       measurements = data.to_measurement_set(deployment.size());
+      skipped = data.skipped_pairs;
       break;
     }
     case MeasurementSource::kSyntheticGaussian:
@@ -22,6 +25,9 @@ core::MeasurementSet LocalizationPipeline::measure(const core::Deployment& deplo
       break;
   }
   measurements.set_node_count(deployment.size());
+  if (skipped_pairs != nullptr) {
+    *skipped_pairs = skipped;
+  }
 
   std::size_t added = 0;
   if (config_.augment_missing) {
@@ -37,9 +43,11 @@ core::MeasurementSet LocalizationPipeline::measure(const core::Deployment& deplo
 PipelineRun LocalizationPipeline::run(const core::Deployment& deployment,
                                       resloc::math::Rng& rng) const {
   std::size_t augmented = 0;
-  core::MeasurementSet measurements = measure(deployment, rng, &augmented);
+  std::size_t skipped = 0;
+  core::MeasurementSet measurements = measure(deployment, rng, &augmented, &skipped);
   PipelineRun out = run_on_measurements(deployment, std::move(measurements), rng);
   out.augmented_edges = augmented;
+  out.skipped_pairs = skipped;
   return out;
 }
 

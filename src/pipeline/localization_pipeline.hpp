@@ -74,6 +74,10 @@ struct PipelineRun {
   core::MeasurementSet measurements;
   /// Edges contributed by the augmentation pass (0 unless augment_missing).
   std::size_t augmented_edges = 0;
+  /// Node pairs the acoustic campaign never simulated because they lie beyond
+  /// its range cutoff (kAcousticRanging only; 0 for the synthetic source).
+  /// Nonzero values explain sparse measurement sets on large fields.
+  std::size_t skipped_pairs = 0;
   /// Per-node position estimates; nullopt = the solver could not place the
   /// node (no measurements, unreachable from the root, too few anchors, ...).
   core::LocalizationResult estimates;
@@ -104,8 +108,11 @@ class LocalizationPipeline {
   PipelineRun run(const core::Deployment& deployment, resloc::math::Rng& rng) const;
 
   /// Measurement acquisition only (campaign or synthetic, plus augmentation).
+  /// `skipped_pairs`, when given, receives the campaign's out-of-range pair
+  /// count (see PipelineRun::skipped_pairs).
   core::MeasurementSet measure(const core::Deployment& deployment, resloc::math::Rng& rng,
-                               std::size_t* augmented_edges = nullptr) const;
+                               std::size_t* augmented_edges = nullptr,
+                               std::size_t* skipped_pairs = nullptr) const;
 
   /// Solve + evaluate over a caller-provided measurement set (e.g. replayed
   /// field data). The deployment supplies ground truth and anchor positions.

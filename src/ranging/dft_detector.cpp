@@ -1,8 +1,115 @@
 #include "ranging/dft_detector.hpp"
 
 #include <cassert>
+#include <cmath>
+
+#include "math/constants.hpp"
 
 namespace resloc::ranging {
+
+int nearest_bin(double tone_frequency_hz, double sample_rate_hz, std::size_t window) {
+  return static_cast<int>(
+      std::lround(tone_frequency_hz / sample_rate_hz * static_cast<double>(window)));
+}
+
+double direct_bin_power(const double* samples, std::size_t count, std::size_t window, int bin,
+                        std::size_t phase0) {
+  double re = 0.0, im = 0.0;
+  const double step = 2.0 * resloc::math::kPi * static_cast<double>(bin) /
+                      static_cast<double>(window);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double angle = step * static_cast<double>((phase0 + i) % window);
+    re += samples[i] * std::cos(angle);
+    im -= samples[i] * std::sin(angle);
+  }
+  return re * re + im * im;
+}
+
+DirectDftFilter::DirectDftFilter(std::size_t window, int bin)
+    : samples_(window, 0.0), bin_(bin) {
+  assert(window > 0);
+}
+
+double DirectDftFilter::step(double sample) {
+  const double old = samples_[n_];
+  samples_[n_] = sample;
+  energy_ += sample * sample - old * old;
+  n_ = (n_ + 1) % samples_.size();
+  // Recompute the bin from scratch: O(window) multiplies per sample. Sample t
+  // lives at ring position t mod window, so the storage index doubles as the
+  // twiddle phase -- the same convention the sliding filter uses, making the
+  // two comparable term by term.
+  return direct_bin_power(samples_.data(), samples_.size(), samples_.size(), bin_);
+}
+
+void DirectDftFilter::reset() {
+  samples_.assign(samples_.size(), 0.0);
+  n_ = 0;
+  energy_ = 0.0;
+}
+
+GoertzelSlidingFilter::GoertzelSlidingFilter(std::size_t window, int bin)
+    : samples_(window, 0.0), cos_(window), sin_(window), bin_(bin) {
+  assert(window > 0);
+  for (std::size_t i = 0; i < window; ++i) {
+    const double angle = 2.0 * resloc::math::kPi * static_cast<double>(bin) *
+                         static_cast<double>(i) / static_cast<double>(window);
+    cos_[i] = std::cos(angle);
+    sin_[i] = std::sin(angle);
+  }
+}
+
+double GoertzelSlidingFilter::step(double sample) {
+  const double old = samples_[n_];
+  const double delta = sample - old;
+  samples_[n_] = sample;
+  // One complex multiply-accumulate: the new sample and the one it evicts sit
+  // a whole window apart, so they share the twiddle factor at index n_.
+  re_ += delta * cos_[n_];
+  im_ -= delta * sin_[n_];
+  energy_ += sample * sample - old * old;
+  n_ = (n_ + 1) % samples_.size();
+  if (++steps_since_resync_ >= kResyncPeriod) resync();
+  return re_ * re_ + im_ * im_;
+}
+
+void GoertzelSlidingFilter::resync() {
+  // Exact recomputation of the incremental sums; kills accumulated rounding
+  // (and the energy sum's catastrophic-cancellation residue) so the filter
+  // tracks DirectDftFilter to ~1e-12 indefinitely.
+  re_ = 0.0;
+  im_ = 0.0;
+  energy_ = 0.0;
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    re_ += samples_[i] * cos_[i];
+    im_ -= samples_[i] * sin_[i];
+    energy_ += samples_[i] * samples_[i];
+  }
+  steps_since_resync_ = 0;
+}
+
+void GoertzelSlidingFilter::reset() {
+  samples_.assign(samples_.size(), 0.0);
+  n_ = 0;
+  steps_since_resync_ = 0;
+  re_ = im_ = energy_ = 0.0;
+}
+
+GoertzelToneDetector::GoertzelToneDetector(double tone_frequency_hz, double sample_rate_hz,
+                                           std::size_t window, double noise_scale)
+    : filter_(window, nearest_bin(tone_frequency_hz, sample_rate_hz, window)),
+      noise_scale_(noise_scale) {}
+
+double GoertzelToneDetector::step(double sample) {
+  const double band_power = filter_.step(sample);
+  // Same automatic noise estimate as DftToneDetector: Parseval window energy
+  // scaled by the correlation margin, plus the tiny absolute floor against
+  // cancellation residue on an all-zero window.
+  constexpr double kNumericFloor = 1e-6;
+  return band_power - noise_scale_ * filter_.window_energy() - kNumericFloor;
+}
+
+void GoertzelToneDetector::reset() { filter_.reset(); }
 
 void SlidingDftFilter::reset() {
   samples_.fill(0.0);
@@ -61,9 +168,15 @@ double DftToneDetector::step(double sample) {
 
 std::vector<double> DftToneDetector::run(const std::vector<double>& waveform) {
   std::vector<double> metric;
+  run_into(waveform, metric);
+  return metric;
+}
+
+void DftToneDetector::run_into(const std::vector<double>& waveform,
+                               std::vector<double>& metric) {
+  metric.clear();
   metric.reserve(waveform.size());
   for (double s : waveform) metric.push_back(step(s));
-  return metric;
 }
 
 int DftToneDetector::count_detections(const std::vector<double>& metric, int min_run,

@@ -9,6 +9,16 @@
 // from the window's total energy via Parseval -- so that a positive output
 // indicates a tone (the paper: "isolate the amplitude of noise and subtract
 // it from the DFT output; a positive result indicates detection of a tone").
+//
+// Beyond the Figure 9 bands, this header provides the campaign hot path:
+//   - DirectDftFilter: the O(window) per-sample reference that recomputes an
+//     arbitrary single bin by explicit summation each step,
+//   - GoertzelSlidingFilter: the O(1) per-sample single-bin recurrence (the
+//     sliding form of the Goertzel filter) with periodic exact resync so its
+//     output never drifts measurably from the direct sum,
+//   - GoertzelToneDetector: the noise-subtracting wrapper over the fast path
+//     for an arbitrary beacon frequency (the grass campaign chirps at
+//     4.3 kHz, which is not one of the two multiplication-free bands).
 #pragma once
 
 #include <array>
@@ -51,6 +61,103 @@ class SlidingDftFilter {
   double energy_ = 0.0;
 };
 
+/// Nearest DFT bin of `window` samples at `sample_rate_hz` to a target tone
+/// frequency (what a mote picks at compile time; exposed for tests/benches).
+int nearest_bin(double tone_frequency_hz, double sample_rate_hz, std::size_t window);
+
+/// Single-bin power |X_k|^2 of `count` samples by direct summation. `phase0`
+/// offsets the twiddle index (used to keep the absolute-phase convention of
+/// the sliding filters); the magnitude is phase-origin independent.
+double direct_bin_power(const double* samples, std::size_t count, std::size_t window, int bin,
+                        std::size_t phase0 = 0);
+
+/// Reference sliding single-bin detector: recomputes the bin by direct
+/// summation over its ring on EVERY step -- O(window) per sample. This is the
+/// naive per-pair DFT cost the Goertzel recurrence replaces; it exists to be
+/// benchmarked against and to pin the fast path's numerics.
+class DirectDftFilter {
+ public:
+  explicit DirectDftFilter(std::size_t window = SlidingDftFilter::kWindow, int bin = 9);
+
+  /// Consumes one sample and returns the current window's bin power.
+  double step(double sample);
+
+  /// Sum of squared samples in the current window (Parseval noise estimate).
+  double window_energy() const { return energy_; }
+
+  void reset();
+  std::size_t window() const { return samples_.size(); }
+  int bin() const { return bin_; }
+
+ private:
+  std::vector<double> samples_;  ///< ring buffer; index = absolute index mod N
+  std::size_t n_ = 0;
+  int bin_;
+  double energy_ = 0.0;
+};
+
+/// Fast sliding single-bin filter: the Goertzel recurrence in its sliding
+/// form. With the twiddle phase anchored to the absolute sample index, the
+/// sample entering the window and the sample leaving it share one twiddle
+/// factor, so each step is a single complex multiply-accumulate:
+///     S += (x[t] - x[t-N]) * e^(-j*2*pi*bin*(t mod N)/N)
+/// -- the generalization of the Figure 9 trick to bins whose roots of unity
+/// are not 0/+-1/+-2. Floating-point drift from the incremental update is
+/// bounded by an exact direct-sum resync every kResyncPeriod steps, keeping
+/// the output within ~1e-12 of DirectDftFilter while staying O(1) amortized.
+class GoertzelSlidingFilter {
+ public:
+  /// Steps between exact recomputations of the running sums.
+  static constexpr std::size_t kResyncPeriod = 256;
+
+  explicit GoertzelSlidingFilter(std::size_t window = SlidingDftFilter::kWindow, int bin = 9);
+
+  /// Consumes one sample and returns the current window's bin power.
+  double step(double sample);
+
+  /// Sum of squared samples in the current window (Parseval noise estimate).
+  double window_energy() const { return energy_; }
+
+  void reset();
+  std::size_t window() const { return samples_.size(); }
+  int bin() const { return bin_; }
+
+ private:
+  void resync();
+
+  std::vector<double> samples_;  ///< ring buffer; index = absolute index mod N
+  std::vector<double> cos_;      ///< cos(2*pi*bin*i/N) for i in [0, N)
+  std::vector<double> sin_;
+  std::size_t n_ = 0;
+  std::size_t steps_since_resync_ = 0;
+  int bin_;
+  double re_ = 0.0, im_ = 0.0;
+  double energy_ = 0.0;
+};
+
+/// Noise-subtracting tone detector for an arbitrary beacon frequency, built
+/// on the Goertzel sliding fast path. Drop-in analogue of DftToneDetector
+/// for tones off the two multiplication-free Figure 9 bands.
+class GoertzelToneDetector {
+ public:
+  explicit GoertzelToneDetector(double tone_frequency_hz = 4000.0,
+                                double sample_rate_hz = 16000.0,
+                                std::size_t window = SlidingDftFilter::kWindow,
+                                double noise_scale = 6.0);
+
+  /// Feeds one sample; returns the noise-subtracted detection metric
+  /// (positive indicates a tone). The campaign's software-detector path
+  /// drives this sample-by-sample (RangingService::software_sample_window).
+  double step(double sample);
+
+  void reset();
+  int bin() const { return filter_.bin(); }
+
+ private:
+  GoertzelSlidingFilter filter_;
+  double noise_scale_;
+};
+
 /// Noise-subtracting tone detector built on the sliding DFT.
 class DftToneDetector {
  public:
@@ -69,6 +176,9 @@ class DftToneDetector {
   /// Convenience: runs the detector over a whole waveform and returns the
   /// per-sample metric series.
   std::vector<double> run(const std::vector<double>& waveform);
+
+  /// run() into a caller-owned buffer, reused across campaign pairs.
+  void run_into(const std::vector<double>& waveform, std::vector<double>& metric);
 
   /// Counts distinct detections in a metric series: a detection is a run of
   /// at least `min_run` consecutive samples with metric > 0; runs separated

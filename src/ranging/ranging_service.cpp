@@ -1,6 +1,11 @@
 #include "ranging/ranging_service.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
+
+#include "math/constants.hpp"
+#include "ranging/dft_detector.hpp"
 
 namespace resloc::ranging {
 
@@ -10,6 +15,24 @@ namespace {
 /// hardware detector's own output latching.
 constexpr DetectionParams kBaselineDetection{/*threshold=*/1, /*window=*/4,
                                              /*min_detections=*/3};
+
+/// Software-detector mode: tone amplitude over the unit-variance sample noise
+/// that reproduces an interval's SNR (tone power A^2/2 against sigma^2 = 1).
+double amplitude_from_snr_db(double snr_db) {
+  return std::sqrt(2.0 * std::pow(10.0, snr_db / 10.0));
+}
+
+/// Wide-band noise burst: the sample noise floor rises by ~12 dB for its
+/// duration. Unlike the hardware detector's fixed false-positive bump, the
+/// DFT path's Parseval noise estimate tracks the elevated floor, so bursts
+/// mostly mask marginal tones rather than injecting detections -- the
+/// robustness Section 3.7 buys at the price of raw sampling.
+constexpr double kBurstNoiseSigma = 4.0;
+
+/// Faulty microphone: a persistent in-band self-oscillation leak at borderline
+/// amplitude, the software-path analogue of the hardware model's elevated
+/// false-positive rate (Section 3.4, source 3/7).
+constexpr double kFaultyMicLeakAmplitude = 1.0;
 }  // namespace
 
 RangingService::RangingService(RangingConfig config)
@@ -22,22 +45,42 @@ std::optional<double> RangingService::measure(double true_distance_m,
                                               const acoustics::SpeakerUnit& speaker,
                                               const acoustics::MicUnit& mic,
                                               resloc::math::Rng& rng) const {
-  return measure_with_diagnostics(true_distance_m, speaker, mic, rng).distance_m;
+  RangingScratch scratch;
+  return measure(true_distance_m, speaker, mic, rng, scratch);
+}
+
+std::optional<double> RangingService::measure(double true_distance_m,
+                                              const acoustics::SpeakerUnit& speaker,
+                                              const acoustics::MicUnit& mic,
+                                              resloc::math::Rng& rng,
+                                              RangingScratch& scratch) const {
+  return measure_impl(true_distance_m, speaker, mic, rng, scratch,
+                      /*want_accumulated=*/false)
+      .distance_m;
 }
 
 RangingAttempt RangingService::measure_with_diagnostics(double true_distance_m,
                                                         const acoustics::SpeakerUnit& speaker,
                                                         const acoustics::MicUnit& mic,
                                                         resloc::math::Rng& rng) const {
+  RangingScratch scratch;
+  return measure_impl(true_distance_m, speaker, mic, rng, scratch, /*want_accumulated=*/true);
+}
+
+RangingAttempt RangingService::measure_impl(double true_distance_m,
+                                            const acoustics::SpeakerUnit& speaker,
+                                            const acoustics::MicUnit& mic,
+                                            resloc::math::Rng& rng, RangingScratch& scratch,
+                                            bool want_accumulated) const {
   RangingAttempt attempt;
 
   acoustics::ChirpPattern pattern = config_.pattern;
   if (config_.baseline) pattern.num_chirps = 1;
 
-  const std::vector<double> starts = acoustics::chirp_start_times(pattern, rng);
-  std::vector<acoustics::Emission> emissions;
-  emissions.reserve(starts.size());
-  for (double s : starts) emissions.push_back({s, pattern.chirp_duration_s});
+  acoustics::chirp_start_times_into(pattern, rng, scratch.starts);
+  scratch.emissions.clear();
+  scratch.emissions.reserve(scratch.starts.size());
+  for (double s : scratch.starts) scratch.emissions.push_back({s, pattern.chirp_duration_s});
 
   const double window_duration_s =
       static_cast<double>(window_samples_) / config_.tdoa.sample_rate_hz;
@@ -48,24 +91,28 @@ RangingAttempt RangingService::measure_with_diagnostics(double true_distance_m,
   // aligned by the radio sync of that chirp. Echoes from *earlier* chirps
   // fall into later windows naturally because every emission is visible to
   // every window.
-  SignalAccumulator accumulator(window_samples_);
-  for (const acoustics::Emission& emission : emissions) {
+  scratch.accumulator.reset(window_samples_);
+  for (const acoustics::Emission& emission : scratch.emissions) {
     // Receiver-side estimate of the chirp onset: true start shifted by the
     // calibration bias plus the per-exchange clock-sync jitter.
     const double sync_error_s =
         calibration_bias_s + rng.gaussian(0.0, config_.tdoa.sync_jitter_s);
     const double window_start_s = emission.start_s - sync_error_s;
 
-    const acoustics::ReceivedWindow received =
-        acoustics::receive(emissions, window_start_s, window_duration_s, true_distance_m,
-                           speaker, mic, config_.environment, config_.channel_jitter, rng);
-    const std::vector<bool> detector_output =
-        detector_.sample_window(received, window_samples_, mic, rng);
-    accumulator.record_chirp(detector_output);
+    acoustics::receive_into(scratch.received, scratch.emissions, window_start_s,
+                            window_duration_s, true_distance_m, speaker, mic,
+                            config_.environment, config_.channel_jitter, rng);
+    if (config_.software_detector) {
+      software_sample_window(mic, rng, scratch);
+    } else {
+      detector_.sample_window_into(scratch.received, window_samples_, mic, rng,
+                                   scratch.detector, scratch.detector_output);
+    }
+    scratch.accumulator.record_chirp(scratch.detector_output);
   }
 
   const DetectionParams detection = config_.baseline ? kBaselineDetection : config_.detection;
-  const std::vector<std::uint8_t>& samples = accumulator.samples();
+  const std::vector<std::uint8_t>& samples = scratch.accumulator.samples();
 
   int index = detect_signal(samples, detection, 0);
   if (!config_.baseline && config_.verify_pattern) {
@@ -81,8 +128,76 @@ RangingAttempt RangingService::measure_with_diagnostics(double true_distance_m,
     attempt.detection_index = index;
     attempt.distance_m = distance_from_detection_index(index, config_.tdoa);
   }
-  attempt.accumulated = samples;
+  if (want_accumulated) attempt.accumulated = samples;
   return attempt;
+}
+
+void RangingService::software_sample_window(const acoustics::MicUnit& mic,
+                                            resloc::math::Rng& rng,
+                                            RangingScratch& scratch) const {
+  const std::size_t n = window_samples_;
+  const double fs = config_.tdoa.sample_rate_hz;
+  const double dt = 1.0 / fs;
+  const acoustics::ReceivedWindow& window = scratch.received;
+
+  // Tone table sin(2*pi*f*i/fs) and the Goertzel detector, cached in the
+  // scratch under the (frequency, sample rate, noise scale) they were built
+  // for; rebuilt only if the scratch migrates to a differently-tuned service.
+  // The table's absolute phase is irrelevant to the single-bin power.
+  const double frequency_hz = config_.pattern.tone_frequency_hz;
+  const bool retuned =
+      scratch.tone_frequency_hz != frequency_hz || scratch.sample_rate_hz != fs;
+  if (retuned || scratch.tone_table.size() != n) {
+    scratch.tone_table.resize(n);
+    const double step = 2.0 * resloc::math::kPi * frequency_hz / fs;
+    for (std::size_t i = 0; i < n; ++i) {
+      scratch.tone_table[i] = std::sin(step * static_cast<double>(i));
+    }
+  }
+  if (retuned || !scratch.goertzel || scratch.noise_scale != config_.software_noise_scale) {
+    scratch.goertzel.emplace(frequency_hz, fs, SlidingDftFilter::kWindow,
+                             config_.software_noise_scale);
+    scratch.tone_frequency_hz = frequency_hz;
+    scratch.sample_rate_hz = fs;
+    scratch.noise_scale = config_.software_noise_scale;
+  } else {
+    scratch.goertzel->reset();
+  }
+
+  // Rasterize the audible intervals into a per-sample tone envelope (and the
+  // bursts into a noise-floor flag), the same bracketed sweep the hardware
+  // model uses so both paths share the interval->sample cost profile.
+  scratch.amplitude.assign(n, mic.faulty ? kFaultyMicLeakAmplitude : 0.0);
+  for (const acoustics::SignalInterval& s : window.signals) {
+    const double amp = amplitude_from_snr_db(s.snr_db);
+    acoustics::for_each_sample_in_interval(
+        window.start_s, dt, n, s.start_s, s.end_s, [&](std::size_t i) {
+          scratch.amplitude[i] = std::max(scratch.amplitude[i], amp);
+        });
+  }
+  scratch.detector.burst.assign(n, 0);
+  for (const acoustics::NoiseBurst& b : window.bursts) {
+    acoustics::for_each_sample_in_interval(
+        window.start_s, dt, n, b.start_s, b.end_s,
+        [&](std::size_t i) { scratch.detector.burst[i] = 1; });
+  }
+
+  // Synthesize and filter in one pass: each sample is the tone envelope on
+  // the cached table plus Gaussian noise, and the binary series is the sign
+  // of the noise-subtracted Goertzel metric. The metric at step i covers
+  // samples (i - kWindow, i], so it is shifted left by the half-window group
+  // delay to line onsets up with the hardware detector's per-sample
+  // convention; the residual latency is within the actuation-jitter budget.
+  GoertzelToneDetector& detector = *scratch.goertzel;
+  constexpr std::size_t kGroupDelay = SlidingDftFilter::kWindow / 2;
+  scratch.detector_output.assign(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double sigma = scratch.detector.burst[i] != 0 ? kBurstNoiseSigma : 1.0;
+    const double sample =
+        scratch.amplitude[i] * scratch.tone_table[i] + rng.gaussian(0.0, sigma);
+    const bool fired = detector.step(sample) > 0.0;
+    if (fired && i >= kGroupDelay) scratch.detector_output[i - kGroupDelay] = true;
+  }
 }
 
 }  // namespace resloc::ranging

@@ -25,6 +25,7 @@
 #include "acoustics/tone_detector.hpp"
 #include "acoustics/units.hpp"
 #include "math/rng.hpp"
+#include "ranging/dft_detector.hpp"
 #include "ranging/signal_detection.hpp"
 #include "ranging/tdoa.hpp"
 
@@ -53,6 +54,20 @@ struct RangingConfig {
   bool verify_pattern = true;
   int silence_gap_samples = 48;
   int silence_max_noisy = 2;
+
+  /// Software tone detection (Section 3.7): platforms without a hardware
+  /// tone detector (e.g. the XSM mote) sample the microphone directly and
+  /// isolate the beacon band in software. When set, each chirp window is
+  /// synthesized as sampled audio (tone amplitude from the received SNR plus
+  /// unit-variance noise) and the binary series fed to the accumulation
+  /// detector is the sign of GoertzelToneDetector's noise-subtracted metric,
+  /// group-delay compensated. This prices every chirp of every pair at a
+  /// per-sample single-bin DFT -- affordable only because of the Goertzel
+  /// sliding recurrence and the cached tone tables (bench_ranging_goertzel
+  /// measures the naive direct-DFT alternative at ~96x the cost).
+  bool software_detector = false;
+  /// Noise-subtraction margin of the software detector (see DftToneDetector).
+  double software_noise_scale = 6.0;
 };
 
 /// Diagnostic output of one measurement attempt.
@@ -61,6 +76,32 @@ struct RangingAttempt {
   int detection_index = -1;              ///< sample index of the detected onset
   int rejected_detections = 0;           ///< candidates failing the pattern check
   std::vector<std::uint8_t> accumulated; ///< post-accumulation counters
+};
+
+/// Reusable working buffers for measure(). A campaign loop keeps one per
+/// worker thread and passes it to every pair, so the per-sequence vectors
+/// (emission schedule, received window, detector output, 4-bit counters) are
+/// allocated once instead of once per pair -- the same buffer reuse the mote
+/// firmware's fixed RAM layout implies (Section 3.6.2).
+struct RangingScratch {
+  std::vector<double> starts;
+  std::vector<acoustics::Emission> emissions;
+  acoustics::ReceivedWindow received;
+  acoustics::DetectorScratch detector;
+  std::vector<bool> detector_output;
+  SignalAccumulator accumulator{0};
+  /// Software-detector mode only: per-sample tone amplitudes, the cached tone
+  /// table sin(2*pi*f*i/fs), and the Goertzel detector itself. The table and
+  /// detector are keyed by the (frequency, sample rate, noise scale) they were
+  /// built for, so a scratch migrating between differently-tuned services
+  /// rebuilds them instead of silently filtering the wrong band; within one
+  /// service they are built once and reused across every pair.
+  std::vector<double> amplitude;
+  std::vector<double> tone_table;
+  double tone_frequency_hz = 0.0;
+  double sample_rate_hz = 0.0;
+  double noise_scale = 0.0;
+  std::optional<GoertzelToneDetector> goertzel;
 };
 
 /// Simulates ranging sequences for one source/receiver pair.
@@ -72,6 +113,12 @@ class RangingService {
   /// the distance estimate (nullopt when no signal is detected).
   std::optional<double> measure(double true_distance_m, const acoustics::SpeakerUnit& speaker,
                                 const acoustics::MicUnit& mic, resloc::math::Rng& rng) const;
+
+  /// measure() reusing caller-owned buffers; result and RNG consumption are
+  /// identical to the allocating overload.
+  std::optional<double> measure(double true_distance_m, const acoustics::SpeakerUnit& speaker,
+                                const acoustics::MicUnit& mic, resloc::math::Rng& rng,
+                                RangingScratch& scratch) const;
 
   /// Like measure() but returns full diagnostics.
   RangingAttempt measure_with_diagnostics(double true_distance_m,
@@ -85,6 +132,15 @@ class RangingService {
   const RangingConfig& config() const { return config_; }
 
  private:
+  RangingAttempt measure_impl(double true_distance_m, const acoustics::SpeakerUnit& speaker,
+                              const acoustics::MicUnit& mic, resloc::math::Rng& rng,
+                              RangingScratch& scratch, bool want_accumulated) const;
+
+  /// Section 3.7 path: synthesizes the window's sampled audio and runs the
+  /// Goertzel detector; fills scratch.detector_output like the hardware path.
+  void software_sample_window(const acoustics::MicUnit& mic, resloc::math::Rng& rng,
+                              RangingScratch& scratch) const;
+
   RangingConfig config_;
   std::size_t window_samples_;
   acoustics::ToneDetectorModel detector_;

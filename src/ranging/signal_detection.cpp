@@ -7,6 +7,11 @@ namespace resloc::ranging {
 
 SignalAccumulator::SignalAccumulator(std::size_t num_samples) : samples_(num_samples, 0) {}
 
+void SignalAccumulator::reset(std::size_t num_samples) {
+  samples_.assign(num_samples, 0);
+  chirps_ = 0;
+}
+
 void SignalAccumulator::record_chirp(const std::vector<bool>& detector_output) {
   assert(detector_output.size() == samples_.size());
   if (chirps_ >= kMaxChirps) return;  // 4-bit counters are full

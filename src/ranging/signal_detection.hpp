@@ -35,6 +35,10 @@ class SignalAccumulator {
   /// Adds one chirp's binary detector output (must be num_samples long).
   void record_chirp(const std::vector<bool>& detector_output);
 
+  /// Zeroes the counters (and resizes to `num_samples`) so one accumulator
+  /// can be reused across a campaign's pairs without reallocating.
+  void reset(std::size_t num_samples);
+
   /// Accumulated counts, saturated at the 4-bit maximum.
   const std::vector<std::uint8_t>& samples() const { return samples_; }
 

@@ -4,9 +4,14 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <utility>
 
+#include "acoustics/environment.hpp"
+#include "acoustics/units.hpp"
+#include "ranging/signal_detection.hpp"
 #include "sim/deployments.hpp"
 #include "sim/scenario_registry.hpp"
 
@@ -57,6 +62,43 @@ TrialOutcome CampaignRunner::run_trial(const SweepSpec& spec, const TrialSpec& t
     config.noise.sigma_m = trial.noise_sigma;
     config.augment_missing = trial.augment;
 
+    // Acoustic campaign axes. Sentinels ("" / 0 / 1.0) keep the base
+    // config's values, so synthetic sweeps are untouched; unknown names
+    // throw and fail the trial, not the campaign.
+    if (!trial.environment.empty()) {
+      std::string env_name = trial.environment;
+      if (env_name == "scenario") {
+        env_name = sim::scenario_environment(trial.scenario);
+        if (env_name.empty()) {
+          throw std::invalid_argument("scenario '" + trial.scenario +
+                                      "' has no canonical environment to resolve the "
+                                      "\"scenario\" axis value");
+        }
+      }
+      config.campaign.ranging.environment = acoustics::environment_by_name(env_name);
+    }
+    if (trial.chirp_count > 0) {
+      if (trial.chirp_count > ranging::SignalAccumulator::kMaxChirps) {
+        throw std::invalid_argument(
+            "chirp count " + std::to_string(trial.chirp_count) + " exceeds the 4-bit counter cap (" +
+            std::to_string(ranging::SignalAccumulator::kMaxChirps) +
+            "); chirps past the cap would be paid for but never recorded");
+      }
+      config.campaign.ranging.pattern.num_chirps = trial.chirp_count;
+    }
+    if (trial.detection_threshold > 0) {
+      config.campaign.ranging.detection.threshold = trial.detection_threshold;
+    }
+    if (!trial.unit_model.empty()) {
+      config.campaign.units = acoustics::unit_model_by_name(trial.unit_model);
+    }
+    if (trial.interference_scale != 1.0) {
+      // One hostility dial: denser echoes and more frequent noise bursts.
+      acoustics::EnvironmentProfile& env = config.campaign.ranging.environment;
+      env.echo_rate *= trial.interference_scale;
+      env.noise_burst_rate_hz *= trial.interference_scale;
+    }
+
     const pipeline::LocalizationPipeline pipe(config);
     const pipeline::PipelineRun run = pipe.run(deployment, pipeline_rng);
 
@@ -70,6 +112,7 @@ TrialOutcome CampaignRunner::run_trial(const SweepSpec& spec, const TrialSpec& t
     outcome.stress = run.stress;
     outcome.augmented_edges = run.augmented_edges;
     outcome.measured_edges = run.measurements.edge_count() - run.augmented_edges;
+    outcome.skipped_pairs = run.skipped_pairs;
   } catch (const std::exception& e) {
     outcome.ok = false;  // unknown scenario, fixed-size mismatch, ...
     outcome.error = e.what();

@@ -19,7 +19,9 @@ std::size_t cell_count(const SweepSpec& spec) {
   const SweepAxes& a = spec.axes;
   return a.scenarios.size() * a.solvers.size() * a.node_counts.size() *
          a.noise_sigmas.size() * a.anchor_counts.size() * a.drop_rates.size() *
-         a.augment.size();
+         a.augment.size() * a.environments.size() * a.chirp_counts.size() *
+         a.detection_thresholds.size() * a.unit_models.size() *
+         a.interference_scales.size();
 }
 
 std::vector<TrialSpec> expand(const SweepSpec& spec) {
@@ -34,21 +36,36 @@ std::vector<TrialSpec> expand(const SweepSpec& spec) {
           for (const std::size_t anchors : a.anchor_counts) {
             for (const double drop : a.drop_rates) {
               for (const bool augment : a.augment) {
-                for (std::size_t rep = 0; rep < spec.trials_per_cell; ++rep) {
-                  TrialSpec t;
-                  t.global_index = trials.size();
-                  t.cell_index = cell;
-                  t.trial_index = rep;
-                  t.scenario = scenario;
-                  t.solver = solver;
-                  t.node_count = nodes;
-                  t.noise_sigma = sigma;
-                  t.anchor_count = anchors;
-                  t.drop_rate = drop;
-                  t.augment = augment;
-                  trials.push_back(std::move(t));
+                for (const std::string& environment : a.environments) {
+                  for (const int chirps : a.chirp_counts) {
+                    for (const int threshold : a.detection_thresholds) {
+                      for (const std::string& units : a.unit_models) {
+                        for (const double interference : a.interference_scales) {
+                          for (std::size_t rep = 0; rep < spec.trials_per_cell; ++rep) {
+                            TrialSpec t;
+                            t.global_index = trials.size();
+                            t.cell_index = cell;
+                            t.trial_index = rep;
+                            t.scenario = scenario;
+                            t.solver = solver;
+                            t.node_count = nodes;
+                            t.noise_sigma = sigma;
+                            t.anchor_count = anchors;
+                            t.drop_rate = drop;
+                            t.augment = augment;
+                            t.environment = environment;
+                            t.chirp_count = chirps;
+                            t.detection_threshold = threshold;
+                            t.unit_model = units;
+                            t.interference_scale = interference;
+                            trials.push_back(std::move(t));
+                          }
+                          ++cell;
+                        }
+                      }
+                    }
+                  }
                 }
-                ++cell;
               }
             }
           }
@@ -69,6 +86,8 @@ std::string solver_name(resloc::pipeline::Solver solver) {
 }
 
 std::vector<std::pair<std::string, std::string>> cell_axes(const TrialSpec& trial) {
+  // Sentinel coordinates print as "base": they mean "whatever the sweep's
+  // base pipeline config says", which is only resolvable at trial time.
   return {
       {"scenario", trial.scenario},
       {"solver", solver_name(trial.solver)},
@@ -77,6 +96,13 @@ std::vector<std::pair<std::string, std::string>> cell_axes(const TrialSpec& tria
       {"anchor_count", std::to_string(trial.anchor_count)},
       {"drop_rate", label(trial.drop_rate)},
       {"augment", trial.augment ? "on" : "off"},
+      {"environment", trial.environment.empty() ? "base" : trial.environment},
+      {"chirp_count", trial.chirp_count <= 0 ? "base" : std::to_string(trial.chirp_count)},
+      {"detection_threshold",
+       trial.detection_threshold <= 0 ? "base" : std::to_string(trial.detection_threshold)},
+      {"unit_model", trial.unit_model.empty() ? "base" : trial.unit_model},
+      {"interference_scale",
+       trial.interference_scale == 1.0 ? "base" : label(trial.interference_scale)},
   };
 }
 

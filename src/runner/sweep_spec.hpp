@@ -36,6 +36,28 @@ struct SweepAxes {
   std::vector<double> drop_rates = {0.0};
   /// Whether missing in-range pairs are augmented with synthetic distances.
   std::vector<bool> augment = {false};
+
+  // --- Acoustic campaign axes (MeasurementSource::kAcousticRanging). Each
+  // sentinel ("" / 0 / 1.0) keeps the base config's value, so synthetic
+  // sweeps pay no extra cells. The axes map onto Section 3's knobs: the
+  // terrain (3.3/3.6), the chirp count k of the accumulation pattern (3.5),
+  // the counter threshold T of detect-signal (3.5), unit-to-unit hardware
+  // variation (3.4 source 3), and ambient noise-burst/echo intensity
+  // (3.4 sources 5/6). ---
+
+  /// Acoustic environment profile names (acoustics::environment_names()).
+  /// "" keeps the base campaign's terrain; the special value "scenario"
+  /// resolves each scenario's canonical site (sim::scenario_environment).
+  std::vector<std::string> environments = {""};
+  /// Chirps per ranging sequence (the pattern's k); 0 keeps the base value.
+  std::vector<int> chirp_counts = {0};
+  /// Accumulated-counter threshold T of detect-signal; 0 keeps the base value.
+  std::vector<int> detection_thresholds = {0};
+  /// Unit-variation presets (acoustics::unit_model_names()); "" keeps base.
+  std::vector<std::string> unit_models = {""};
+  /// Multiplier on the environment's echo rate and noise-burst rate --
+  /// one dial for "how hostile is the ambient acoustic scene". 1.0 = as-is.
+  std::vector<double> interference_scales = {1.0};
 };
 
 /// A full sweep: axes over a base pipeline configuration.
@@ -63,6 +85,11 @@ struct TrialSpec {
   std::size_t anchor_count = 0;
   double drop_rate = 0.0;
   bool augment = false;
+  std::string environment;        ///< "" = base campaign terrain
+  int chirp_count = 0;            ///< k; 0 = base
+  int detection_threshold = 0;    ///< T; 0 = base
+  std::string unit_model;         ///< "" = base unit-variation model
+  double interference_scale = 1.0;
 };
 
 /// Number of cells in the cross product (0 if any axis is empty).
@@ -71,7 +98,8 @@ std::size_t cell_count(const SweepSpec& spec);
 /// Flattens the sweep into cell_count() * trials_per_cell trials, cell-major
 /// (all repetitions of cell 0 first). Deterministic: axis order is fixed as
 /// scenario > solver > node_count > noise_sigma > anchor_count > drop_rate >
-/// augment, slowest axis first.
+/// augment > environment > chirp_count > detection_threshold > unit_model >
+/// interference_scale, slowest axis first.
 std::vector<TrialSpec> expand(const SweepSpec& spec);
 
 /// Human-readable solver name ("multilateration", "lss", "distributed_lss").

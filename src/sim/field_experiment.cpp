@@ -40,16 +40,25 @@ FieldExperimentData run_field_experiment(const resloc::core::Deployment& deploym
   const resloc::ranging::RangingService service(config.ranging);
 
   // Symmetric per-link shadowing, drawn once per campaign: the acoustic path
-  // i<->j is the same grass in both directions.
+  // i<->j is the same grass in both directions. Pairs beyond the simulation
+  // range are counted here (once per unordered pair, not per round) so the
+  // campaign's sparseness is attributable.
   std::vector<double> shadowing(n * n, 0.0);
   for (NodeId i = 0; i < n; ++i) {
     for (NodeId j = static_cast<NodeId>(i + 1); j < n; ++j) {
       const double s = rng.gaussian(0.0, config.link_shadowing_stddev_db);
       shadowing[i * n + j] = s;
       shadowing[j * n + i] = s;
+      if (resloc::math::distance(deployment.positions[i], deployment.positions[j]) >
+          config.simulate_within_m) {
+        ++data.skipped_pairs;
+      }
     }
   }
 
+  // One scratch serves every pair: the per-sequence buffers are sized by the
+  // service's window and reused across the whole campaign.
+  resloc::ranging::RangingScratch scratch;
   for (int round = 0; round < config.rounds; ++round) {
     for (NodeId source = 0; source < n; ++source) {
       for (NodeId receiver = 0; receiver < n; ++receiver) {
@@ -62,7 +71,7 @@ FieldExperimentData run_field_experiment(const resloc::core::Deployment& deploym
         resloc::acoustics::SpeakerUnit speaker = speakers[source];
         speaker.output_db += shadowing[source * n + receiver];
 
-        const auto estimate = service.measure(true_d, speaker, mics[receiver], rng);
+        const auto estimate = service.measure(true_d, speaker, mics[receiver], rng, scratch);
         if (!estimate) continue;
         data.raw.add(source, receiver, *estimate);
         data.samples.push_back({source, receiver, true_d, *estimate});

@@ -58,6 +58,13 @@ struct FieldExperimentData {
   std::vector<RangingSample> samples;      ///< every successful raw estimate
   std::vector<resloc::ranging::PairEstimate> filtered;  ///< after filter + bidirectional check
 
+  /// Unordered pairs that were never simulated because their true distance
+  /// exceeds `simulate_within_m` (outside any plausible acoustic or radio
+  /// range). Surfaced -- rather than silently dropped -- so a sparse campaign
+  /// on a large field is diagnosable: a low edge count with a high skip count
+  /// is geometry, not detector failure.
+  std::size_t skipped_pairs = 0;
+
   /// Converts the filtered estimates into the localization input format.
   resloc::core::MeasurementSet to_measurement_set(std::size_t node_count) const;
 

@@ -27,44 +27,75 @@ Deployment sized_offset_grid(std::size_t node_count) {
   return d;
 }
 
-std::map<std::string, ScenarioBuilder> make_builtins() {
-  std::map<std::string, ScenarioBuilder> m;
-  m["offset_grid"] = [](const ScenarioParams& p, resloc::math::Rng& rng) {
-    Deployment d = sized_offset_grid(p.node_count);
-    drop_random_nodes(d, p.drop_count, rng);
-    return d;
-  };
-  m["grass_grid"] = [](const ScenarioParams& p, resloc::math::Rng& rng) {
-    // The field campaign's grid: 49 positions, 3 failed motes by default.
-    Deployment d = sized_offset_grid(p.node_count);
-    drop_random_nodes(d, p.drop_count == 0 ? 3 : p.drop_count, rng);
-    return d;
-  };
+/// A registered scenario: how to build it, and which terrain it sits on.
+struct ScenarioEntry {
+  ScenarioBuilder builder;
+  std::string environment;  ///< "" = no canonical site
+};
+
+std::map<std::string, ScenarioEntry> make_builtins() {
+  std::map<std::string, ScenarioEntry> m;
+  m["offset_grid"] = {[](const ScenarioParams& p, resloc::math::Rng& rng) {
+                        Deployment d = sized_offset_grid(p.node_count);
+                        drop_random_nodes(d, p.drop_count, rng);
+                        return d;
+                      },
+                      "grass"};
+  m["grass_grid"] = {[](const ScenarioParams& p, resloc::math::Rng& rng) {
+                       // The field campaign's grid: 49 positions, 3 failed
+                       // motes by default.
+                       Deployment d = sized_offset_grid(p.node_count);
+                       drop_random_nodes(d, p.drop_count == 0 ? 3 : p.drop_count, rng);
+                       return d;
+                     },
+                     "grass"};
   // Fixed-geometry scenarios reject a node_count they cannot honor rather
   // than silently running their native size under a mislabeled sweep axis.
-  m["town"] = [](const ScenarioParams& p, resloc::math::Rng& rng) {
-    if (p.node_count != 0 && p.node_count != 59) {
-      throw std::invalid_argument("scenario 'town' has a fixed 59-node layout");
-    }
-    Deployment d = town_blocks_59();
-    drop_random_nodes(d, p.drop_count, rng);
-    return d;
-  };
-  m["parking_lot"] = [](const ScenarioParams& p, resloc::math::Rng& rng) {
-    if (p.node_count != 0 && p.node_count != 15) {
-      throw std::invalid_argument("scenario 'parking_lot' has a fixed 15-node layout");
-    }
-    Deployment d = parking_lot_15();
-    drop_random_nodes(d, p.drop_count, rng);  // anchors survive
-    return d;
-  };
-  m["random_uniform"] = [](const ScenarioParams& p, resloc::math::Rng& rng) {
-    const std::size_t count = p.node_count == 0 ? 49 : p.node_count;
-    Deployment d =
-        random_uniform(count, p.field_width_m, p.field_height_m, p.min_spacing_m, rng);
-    drop_random_nodes(d, p.drop_count, rng);
-    return d;
-  };
+  m["town"] = {[](const ScenarioParams& p, resloc::math::Rng& rng) {
+                 if (p.node_count != 0 && p.node_count != 59) {
+                   throw std::invalid_argument("scenario 'town' has a fixed 59-node layout");
+                 }
+                 Deployment d = town_blocks_59();
+                 drop_random_nodes(d, p.drop_count, rng);
+                 return d;
+               },
+               "urban"};
+  m["parking_lot"] = {[](const ScenarioParams& p, resloc::math::Rng& rng) {
+                        if (p.node_count != 0 && p.node_count != 15) {
+                          throw std::invalid_argument(
+                              "scenario 'parking_lot' has a fixed 15-node layout");
+                        }
+                        Deployment d = parking_lot_15();
+                        drop_random_nodes(d, p.drop_count, rng);  // anchors survive
+                        return d;
+                      },
+                      "pavement"};
+  m["random_uniform"] = {[](const ScenarioParams& p, resloc::math::Rng& rng) {
+                           const std::size_t count = p.node_count == 0 ? 49 : p.node_count;
+                           Deployment d = random_uniform(count, p.field_width_m,
+                                                         p.field_height_m, p.min_spacing_m, rng);
+                           drop_random_nodes(d, p.drop_count, rng);
+                           return d;
+                         },
+                         ""};
+  // The 60-node urban survey of Figures 2/4: distances recorded out to ~30 m
+  // over a 70 x 55 m site.
+  m["urban_60"] = {[](const ScenarioParams& p, resloc::math::Rng& rng) {
+                     const std::size_t count = p.node_count == 0 ? 60 : p.node_count;
+                     Deployment d = random_uniform(count, 70.0, 55.0, 6.0, rng);
+                     drop_random_nodes(d, p.drop_count, rng);
+                     return d;
+                   },
+                   "urban"};
+  // Sparse wooded patch: the strongest-absorption terrain of Section 3.6 --
+  // acoustic links die fast, so campaigns here are deliberately edge-starved.
+  m["wooded_patch"] = {[](const ScenarioParams& p, resloc::math::Rng& rng) {
+                         const std::size_t count = p.node_count == 0 ? 30 : p.node_count;
+                         Deployment d = random_uniform(count, 60.0, 60.0, 8.0, rng);
+                         drop_random_nodes(d, p.drop_count, rng);
+                         return d;
+                       },
+                       "wooded"};
   return m;
 }
 
@@ -73,8 +104,8 @@ std::mutex& registry_mutex() {
   return m;
 }
 
-std::map<std::string, ScenarioBuilder>& registry() {
-  static std::map<std::string, ScenarioBuilder> r = make_builtins();
+std::map<std::string, ScenarioEntry>& registry() {
+  static std::map<std::string, ScenarioEntry> r = make_builtins();
   return r;
 }
 
@@ -84,7 +115,7 @@ std::vector<std::string> scenario_names() {
   std::lock_guard<std::mutex> lock(registry_mutex());
   std::vector<std::string> names;
   names.reserve(registry().size());
-  for (const auto& [name, builder] : registry()) names.push_back(name);
+  for (const auto& [name, entry] : registry()) names.push_back(name);
   return names;  // std::map iterates sorted
 }
 
@@ -102,14 +133,21 @@ Deployment build_scenario(const std::string& name, const ScenarioParams& params,
     if (it == registry().end()) {
       throw std::out_of_range("unknown scenario: " + name);
     }
-    builder = it->second;  // copy so the build runs outside the lock
+    builder = it->second.builder;  // copy so the build runs outside the lock
   }
   return builder(params, rng);
 }
 
-void register_scenario(const std::string& name, ScenarioBuilder builder) {
+std::string scenario_environment(const std::string& name) {
   std::lock_guard<std::mutex> lock(registry_mutex());
-  registry()[name] = std::move(builder);
+  const auto it = registry().find(name);
+  return it == registry().end() ? std::string() : it->second.environment;
+}
+
+void register_scenario(const std::string& name, ScenarioBuilder builder,
+                       const std::string& environment) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  registry()[name] = {std::move(builder), environment};
 }
 
 }  // namespace resloc::sim

@@ -45,6 +45,10 @@ using ScenarioBuilder =
 ///   "town"           -- the 59-node small-town layout of Figures 20-22
 ///   "parking_lot"    -- the 15-node / 5-anchor lot of Figure 12
 ///   "random_uniform" -- uniform random field with minimum spacing
+///   "urban_60"       -- the 60-node urban survey site of Figures 2/4
+///                       (random 70 x 55 m, 6 m minimum spacing)
+///   "wooded_patch"   -- 30 nodes over a 60 x 60 m wooded area (native size;
+///                       the strongest-absorption terrain of Section 3.6)
 std::vector<std::string> scenario_names();
 
 bool has_scenario(const std::string& name);
@@ -54,8 +58,16 @@ bool has_scenario(const std::string& name);
 resloc::core::Deployment build_scenario(const std::string& name, const ScenarioParams& params,
                                         resloc::math::Rng& rng);
 
+/// Canonical acoustic environment of a scenario's site (a name accepted by
+/// acoustics::environment_by_name), or "" when the scenario does not pin one.
+/// The runner's environment axis value "scenario" resolves through this, so
+/// a mixed-terrain sweep ranges each deployment on its own ground.
+std::string scenario_environment(const std::string& name);
+
 /// Adds (or replaces) a scenario. Call before campaigns start; the builder
-/// itself must be thread-safe.
-void register_scenario(const std::string& name, ScenarioBuilder builder);
+/// itself must be thread-safe. `environment` optionally pins the scenario's
+/// canonical terrain (see scenario_environment).
+void register_scenario(const std::string& name, ScenarioBuilder builder,
+                       const std::string& environment = "");
 
 }  // namespace resloc::sim

@@ -1,0 +1,188 @@
+// Edge-case and property coverage for the Section 3.5 measurement plumbing:
+// MeasurementTable symmetrization and the statistical filter. These lock the
+// behaviours the acoustic sweep axis leans on -- empty campaigns, lone
+// estimates, outlier-dominated pairs, and asymmetric per-direction counts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "math/rng.hpp"
+#include "ranging/measurement_table.hpp"
+#include "ranging/statistical_filter.hpp"
+
+namespace {
+
+using resloc::ranging::FilterKind;
+using resloc::ranging::FilterPolicy;
+using resloc::ranging::MeasurementTable;
+using resloc::ranging::PairEstimate;
+
+// --- statistical_filter edge cases ---
+
+TEST(StatisticalFilter, EmptyInputYieldsNoEstimate) {
+  for (const FilterKind kind : {FilterKind::kMedian, FilterKind::kMode, FilterKind::kAuto}) {
+    FilterPolicy policy;
+    policy.kind = kind;
+    EXPECT_FALSE(resloc::ranging::filter_measurements({}, policy).has_value());
+  }
+}
+
+TEST(StatisticalFilter, SingleMeasurementPassesThroughUnchanged) {
+  // Median (and kAuto below its mode threshold) return the lone value
+  // exactly; the mode estimate quantizes to its bin center by construction,
+  // so it may move the value by at most half a bin.
+  for (const FilterKind kind : {FilterKind::kMedian, FilterKind::kAuto}) {
+    FilterPolicy policy;
+    policy.kind = kind;
+    const auto out = resloc::ranging::filter_measurements({7.25}, policy);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_DOUBLE_EQ(*out, 7.25);
+  }
+  FilterPolicy mode;
+  mode.kind = FilterKind::kMode;
+  const auto out = resloc::ranging::filter_measurements({7.25}, mode);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_NEAR(*out, 7.25, mode.mode_bin_width_m / 2.0 + 1e-12);
+}
+
+TEST(StatisticalFilter, MedianResistsMinorityOutliers) {
+  // Five honest ~10 m readings and two wild echoes: the median must stay with
+  // the majority (the Figure 4 mechanism).
+  FilterPolicy policy;
+  policy.kind = FilterKind::kMedian;
+  const auto out =
+      resloc::ranging::filter_measurements({10.1, 9.9, 10.0, 10.2, 9.8, 3.0, 31.0}, policy);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_NEAR(*out, 10.0, 0.25);
+}
+
+TEST(StatisticalFilter, AllOutlierInputStillReturnsAValueInRange) {
+  // When every measurement is garbage there is no right answer, but the
+  // filter must stay within the observed range rather than extrapolate.
+  FilterPolicy policy;
+  policy.kind = FilterKind::kAuto;
+  std::vector<double> garbage = {2.0, 40.0, 11.0, 29.0, 5.5, 33.0, 18.0, 3.5};
+  const auto out = resloc::ranging::filter_measurements(garbage, policy);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_GE(*out, *std::min_element(garbage.begin(), garbage.end()));
+  EXPECT_LE(*out, *std::max_element(garbage.begin(), garbage.end()));
+}
+
+TEST(StatisticalFilter, AutoSwitchesToModeOnceEnoughSamples) {
+  // Below mode_min_samples kAuto behaves as median; at or above it, as mode.
+  FilterPolicy policy;
+  policy.kind = FilterKind::kAuto;
+  policy.mode_min_samples = 5;
+  // Four samples: median of {9, 10, 10, 30} = 10; mode would also be 10 --
+  // use an input where the two disagree: {1, 10, 10.2, 30}: median 10.1.
+  const auto few = resloc::ranging::filter_measurements({1.0, 10.0, 10.2, 30.0}, policy);
+  ASSERT_TRUE(few.has_value());
+  EXPECT_NEAR(*few, 10.1, 1e-9);
+  // Seven samples, bimodal with the true-distance bin denser: the mode picks
+  // the dense decimeter bin even though outliers drag the median upward.
+  const auto many = resloc::ranging::filter_measurements(
+      {10.0, 10.05, 10.1, 24.0, 24.1, 39.0, 10.02}, policy);
+  ASSERT_TRUE(many.has_value());
+  EXPECT_NEAR(*many, 10.0, 0.3);
+}
+
+TEST(StatisticalFilter, MaxSamplesUsesEarliestMeasurements) {
+  // "median filtering of up to five measurements": later readings are cut.
+  FilterPolicy policy;
+  policy.kind = FilterKind::kMedian;
+  policy.max_samples = 5;
+  const auto out = resloc::ranging::filter_measurements(
+      {10.0, 10.1, 9.9, 10.2, 9.8, 500.0, 500.0, 500.0, 500.0}, policy);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_NEAR(*out, 10.0, 0.25);
+}
+
+// --- MeasurementTable symmetrization ---
+
+TEST(MeasurementTable, EmptyTableProducesNothing) {
+  const MeasurementTable table;
+  EXPECT_EQ(table.measurement_count(), 0u);
+  EXPECT_EQ(table.directed_pair_count(), 0u);
+  EXPECT_TRUE(table.nodes().empty());
+  EXPECT_TRUE(table.symmetric_estimates(FilterPolicy{}, 1.0).empty());
+  EXPECT_TRUE(table.bidirectional_only(FilterPolicy{}, 1.0).empty());
+}
+
+TEST(MeasurementTable, SingleDirectionalEstimatePassesThrough) {
+  MeasurementTable table;
+  table.add(3, 1, 12.5);
+  const auto pairs = table.symmetric_estimates(FilterPolicy{}, 1.0);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].a, 1u);  // canonical order a < b regardless of direction
+  EXPECT_EQ(pairs[0].b, 3u);
+  EXPECT_DOUBLE_EQ(pairs[0].distance_m, 12.5);
+  EXPECT_FALSE(pairs[0].bidirectional);
+  // The bidirectional-only view drops it.
+  EXPECT_TRUE(table.bidirectional_only(FilterPolicy{}, 1.0).empty());
+}
+
+TEST(MeasurementTable, AsymmetricPairCountsFilterEachDirectionIndependently) {
+  // Five forward readings (median 10.0) against one stray backward reading:
+  // within tolerance the estimate is the average of the two per-direction
+  // filtered values, and it is marked bidirectional.
+  MeasurementTable table;
+  for (const double m : {9.9, 10.0, 10.1, 10.05, 9.95}) table.add(0, 1, m);
+  table.add(1, 0, 10.5);
+  FilterPolicy policy;
+  policy.kind = FilterKind::kMedian;
+  const auto pairs = table.symmetric_estimates(policy, 1.0);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_TRUE(pairs[0].bidirectional);
+  EXPECT_NEAR(pairs[0].distance_m, 0.5 * (10.0 + 10.5), 1e-9);
+}
+
+TEST(MeasurementTable, InconsistentBidirectionalPairIsDiscarded) {
+  // Section 3.5: "bidirectional range estimates ... are discarded if they are
+  // inconsistent" -- disagreement beyond the tolerance removes the pair
+  // entirely rather than averaging two irreconcilable readings.
+  MeasurementTable table;
+  table.add(0, 1, 10.0);
+  table.add(1, 0, 14.0);
+  EXPECT_TRUE(table.symmetric_estimates(FilterPolicy{}, 1.0).empty());
+  // The same pair survives under a tolerance that covers the gap.
+  const auto loose = table.symmetric_estimates(FilterPolicy{}, 5.0);
+  ASSERT_EQ(loose.size(), 1u);
+  EXPECT_NEAR(loose.front().distance_m, 12.0, 1e-9);
+}
+
+TEST(MeasurementTable, SymmetrizationOutputIsCanonicallyOrdered) {
+  // Property over random tables: every output pair has a < b, appears at most
+  // once, and its distance lies within the range of that pair's raw readings.
+  resloc::math::Rng rng(0xABCD);
+  for (int round = 0; round < 20; ++round) {
+    MeasurementTable table;
+    std::map<std::pair<unsigned, unsigned>, std::pair<double, double>> bounds;
+    const int entries = 1 + static_cast<int>(rng.uniform_int(0, 30));
+    for (int e = 0; e < entries; ++e) {
+      const auto i = static_cast<unsigned>(rng.uniform_int(0, 6));
+      auto j = static_cast<unsigned>(rng.uniform_int(0, 6));
+      if (i == j) j = (j + 1) % 7;
+      const double m = rng.uniform(5.0, 25.0);
+      table.add(i, j, m);
+      auto& b = bounds.try_emplace({std::min(i, j), std::max(i, j)},
+                                   std::make_pair(m, m)).first->second;
+      b.first = std::min(b.first, m);
+      b.second = std::max(b.second, m);
+    }
+    std::set<std::pair<unsigned, unsigned>> seen;
+    for (const PairEstimate& p : table.symmetric_estimates(FilterPolicy{}, 1e9)) {
+      EXPECT_LT(p.a, p.b);
+      EXPECT_TRUE(seen.insert({p.a, p.b}).second) << "duplicate pair";
+      const auto& b = bounds.at({p.a, p.b});
+      EXPECT_GE(p.distance_m, b.first - 1e-9);
+      EXPECT_LE(p.distance_m, b.second + 1e-9);
+    }
+  }
+}
+
+}  // namespace
