@@ -107,6 +107,46 @@ std::map<std::string, NamedSweep> sweep_catalog() {
     catalog["solvers"] = {"multilateration vs centralized LSS, dense synthetic (20 trials)",
                           spec};
   }
+  {  // The large-scale tier: campus_500 and city_1000 end to end, n x solver.
+     // Viable because the LSS soft constraint's active set is found by
+     // spatial-hash neighbor query (~O(n) per objective evaluation, see
+     // BENCH_lss.json) instead of the former O(n^2) all-pairs scan.
+    SweepSpec spec = synthetic_base("scale");
+    spec.trials_per_cell = 2;
+    spec.axes.scenarios = {"campus_500", "city_1000"};
+    spec.axes.solvers = {Solver::kMultilateration, Solver::kCentralizedLss};
+    spec.axes.noise_sigmas = {0.33};
+    spec.axes.anchor_counts = {40};
+    // 40 anchors cover a fraction of a 390 x 290 m field: progressive
+    // promotion (Section 4.1.1's modification) is what lets multilateration
+    // reach the interior.
+    spec.base.multilateration.progressive = true;
+    // Random init cannot unfold 10^3 nodes; DV-hop seeds a coarse absolute
+    // configuration that one LSS descent (3 perturbation rounds) refines to
+    // sub-meter error. (independent_inits / target_stress_per_edge govern
+    // localize_lss's multi-attempt loop and do not apply to seeded solves.)
+    spec.base.lss_init = resloc::pipeline::LssInit::kDvHopSeeded;
+    spec.base.lss.restarts.rounds = 3;
+    spec.base.lss.gd.max_iterations = 2500;
+    spec.base.lss.init_box_m = 400.0;
+    catalog["scale"] = {"large-scale tier: {campus_500, city_1000} x {multilat, lss} (8 trials)",
+                       spec};
+  }
+  {  // Small-n cut of the scale axes for CI: seconds, not minutes, and the
+     // 1-vs-8-thread byte-identity check runs on exactly these cells.
+    SweepSpec spec = synthetic_base("scale_smoke");
+    spec.trials_per_cell = 1;
+    spec.axes.scenarios = {"uniform_n"};
+    spec.axes.node_counts = {64, 100};
+    spec.axes.solvers = {Solver::kMultilateration, Solver::kCentralizedLss};
+    spec.axes.noise_sigmas = {0.33};
+    spec.axes.anchor_counts = {16};
+    spec.base.multilateration.progressive = true;
+    spec.base.lss_init = resloc::pipeline::LssInit::kDvHopSeeded;
+    spec.base.lss.restarts.rounds = 3;
+    spec.base.lss.init_box_m = 130.0;  // uniform_n at n=100 spans ~120 m
+    catalog["scale_smoke"] = {"node_counts x solver smoke cut of 'scale' (4 trials, CI)", spec};
+  }
   {  // The full Section 3 service swept across terrains and hardware: every
      // trial runs the complete acoustic campaign (chirp patterns, 4-bit
      // accumulation, T-of-k detection, silence verification, filtering,

@@ -34,7 +34,6 @@ LocalMap build_local_map(NodeId owner, const MeasurementSet& measurements,
 
   // Sub-problem over the member set: every measurement among members.
   MeasurementSet local(map.members.size());
-  local.set_node_count(map.members.size());
   double max_dist = 1.0;
   for (std::size_t a = 0; a < map.members.size(); ++a) {
     for (std::size_t b = a + 1; b < map.members.size(); ++b) {

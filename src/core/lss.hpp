@@ -63,6 +63,14 @@ struct LssOptions {
   /// stress falls to `target_stress_per_edge * edge_count` ("a reasonable
   /// minimum is reached"). 0 runs all attempts.
   double target_stress_per_edge = 0.0;
+
+  /// When true, the soft constraint's active set is found by the original
+  /// dense all-pairs scan (O(n^2) per objective evaluation) instead of the
+  /// spatial-hash neighbor query (~O(n)). The two paths are bit-equivalent --
+  /// same error, same gradient, down to the last ulp (locked by the
+  /// dense-vs-grid test in tests/test_lss_scale.cpp) -- so this exists only
+  /// for that test and as a reference when debugging the grid.
+  bool dense_constraint_scan = false;
 };
 
 /// LSS output. Positions are in an arbitrary rigid frame (translate / rotate
@@ -80,6 +88,15 @@ struct LssResult {
 /// at the given configuration. Exposed for tests and benches (Figure 23).
 double lss_stress(const MeasurementSet& measurements, const std::vector<resloc::math::Vec2>& positions,
                   const LssOptions& options);
+
+/// Evaluates stress AND its gradient at the given configuration. `grad` is
+/// resized to 2n and laid out like the solver's parameter vector:
+/// [dE/dx_0 .. dE/dx_{n-1}, dE/dy_0 .. dE/dy_{n-1}]. Exposed for the
+/// finite-difference gradient checks, the dense-vs-grid equivalence test, and
+/// bench_lss_scale.
+double lss_stress_with_gradient(const MeasurementSet& measurements,
+                                const std::vector<resloc::math::Vec2>& positions,
+                                const LssOptions& options, std::vector<double>& grad);
 
 /// Runs centralized LSS over all nodes in the measurement set, starting from
 /// a random configuration. All nodes receive coordinates; nodes with no

@@ -14,6 +14,8 @@ std::uint64_t MeasurementSet::key(NodeId i, NodeId j) {
   return (static_cast<std::uint64_t>(lo) << 32) | hi;
 }
 
+void MeasurementSet::set_node_count(std::size_t n) { node_count_ = std::max(node_count_, n); }
+
 void MeasurementSet::add(NodeId i, NodeId j, double distance_m, double weight) {
   if (i == j) return;
   DistanceEdge edge;
@@ -25,9 +27,15 @@ void MeasurementSet::add(NodeId i, NodeId j, double distance_m, double weight) {
   const std::uint64_t k = key(i, j);
   const auto it = index_.find(k);
   if (it == index_.end()) {
-    index_[k] = edges_.size();
+    const std::size_t idx = edges_.size();
+    index_[k] = idx;
     edges_.push_back(edge);
+    if (adjacency_.size() <= edge.j) adjacency_.resize(static_cast<std::size_t>(edge.j) + 1);
+    adjacency_[edge.i].emplace_back(edge.j, idx);
+    adjacency_[edge.j].emplace_back(edge.i, idx);
   } else {
+    // Replacement: the edge keeps its slot, so the adjacency entries pointing
+    // at it stay valid.
     edges_[it->second] = edge;
   }
   node_count_ = std::max(node_count_, static_cast<std::size_t>(edge.j) + 1);
@@ -41,9 +49,10 @@ std::optional<DistanceEdge> MeasurementSet::between(NodeId i, NodeId j) const {
 
 std::vector<std::pair<NodeId, double>> MeasurementSet::neighbors(NodeId id) const {
   std::vector<std::pair<NodeId, double>> out;
-  for (const DistanceEdge& e : edges_) {
-    if (e.i == id) out.emplace_back(e.j, e.distance_m);
-    if (e.j == id) out.emplace_back(e.i, e.distance_m);
+  if (id >= adjacency_.size()) return out;
+  out.reserve(adjacency_[id].size());
+  for (const auto& [neighbor, edge_index] : adjacency_[id]) {
+    out.emplace_back(neighbor, edges_[edge_index].distance_m);
   }
   return out;
 }

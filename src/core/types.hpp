@@ -54,10 +54,23 @@ class MeasurementSet {
   std::size_t edge_count() const { return edges_.size(); }
 
   std::size_t node_count() const { return node_count_; }
-  void set_node_count(std::size_t n) { node_count_ = std::max(node_count_, n); }
+  /// Grows the logical node count to at least `n`. Grow-only by design: ids
+  /// may already appear in stored edges, so a shrink would dangle them --
+  /// requests smaller than the current count are silently ignored, they do
+  /// not truncate. (The constructor argument, by contrast, sets the initial
+  /// count exactly.)
+  void set_node_count(std::size_t n);
 
   /// Neighbors of `id`: every node with a measurement to it, with distances.
+  /// Served from a per-node adjacency index in O(degree), in edge insertion
+  /// order -- the solvers call this per node, which a linear scan of all
+  /// edges would turn into O(n * |E|) at campaign scale.
   std::vector<std::pair<NodeId, double>> neighbors(NodeId id) const;
+
+  /// Number of measured edges incident to `id` (O(1)).
+  std::size_t degree(NodeId id) const {
+    return id < adjacency_.size() ? adjacency_[id].size() : 0;
+  }
 
   /// Average number of measured edges per node (2|E| / n).
   double average_degree() const;
@@ -67,6 +80,9 @@ class MeasurementSet {
 
   std::vector<DistanceEdge> edges_;
   std::unordered_map<std::uint64_t, std::size_t> index_;  // key -> edge index
+  /// Per-node (neighbor id, index into edges_), appended at insertion so the
+  /// order neighbors() reports matches the historical edge scan.
+  std::vector<std::vector<std::pair<NodeId, std::size_t>>> adjacency_;
   std::size_t node_count_ = 0;
 };
 

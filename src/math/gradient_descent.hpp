@@ -6,11 +6,17 @@
 //     and restarting "each round of minimization with seed positions obtained
 //     by perturbing the best results so far" to escape local minima.
 //
-// The objective is a callback that fills the gradient and returns the error;
-// this keeps the optimizer reusable across all the different error functions
-// in the reproduction.
+// The objective is a callable that fills the gradient and returns the error.
+// minimize() and minimize_with_restarts() are templates over the callable's
+// concrete type: the LSS stress objective is evaluated ~10^5 times per solve
+// and carries per-evaluation scratch (a spatial hash of the configuration),
+// so the call must inline rather than go through std::function dispatch. The
+// `Objective` alias remains for callers that want type erasure (tests, stored
+// callbacks); passing one simply instantiates the template with it.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <functional>
 #include <vector>
 
@@ -50,9 +56,76 @@ struct GradientDescentResult {
   std::vector<double> error_trace; ///< per-iteration errors when recorded
 };
 
-/// Runs gradient descent from `x0`.
-GradientDescentResult minimize(const Objective& objective, std::vector<double> x0,
-                               const GradientDescentOptions& options);
+namespace detail {
+
+inline double inf_norm(const std::vector<double>& v) {
+  double best = 0.0;
+  for (double x : v) best = std::max(best, std::abs(x));
+  return best;
+}
+
+}  // namespace detail
+
+/// Runs gradient descent from `x0`. The objective may be stateful (scratch
+/// buffers); it is taken by reference and never copied.
+template <typename ObjectiveFn>
+GradientDescentResult minimize(ObjectiveFn&& objective, std::vector<double> x0,
+                               const GradientDescentOptions& options) {
+  GradientDescentResult result;
+  const std::size_t n = x0.size();
+  std::vector<double> grad(n, 0.0);
+  std::vector<double> candidate(n, 0.0);
+  std::vector<double> candidate_grad(n, 0.0);
+
+  double error = objective(x0, grad);
+  double step = options.step_size;
+
+  result.x = x0;
+  result.error = error;
+  if (options.record_trace) result.error_trace.push_back(error);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    const double grad_norm = detail::inf_norm(grad);
+    if (grad_norm <= options.gradient_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    for (std::size_t i = 0; i < n; ++i) candidate[i] = result.x[i] - step * grad[i];
+    double candidate_error = objective(candidate, candidate_grad);
+
+    if (options.adaptive) {
+      // Backtrack: shrink the step until the error stops increasing (or the
+      // step collapses, which we treat as convergence).
+      int backtracks = 0;
+      while (candidate_error > error && backtracks < 40) {
+        step *= 0.5;
+        for (std::size_t i = 0; i < n; ++i) candidate[i] = result.x[i] - step * grad[i];
+        candidate_error = objective(candidate, candidate_grad);
+        ++backtracks;
+      }
+      if (candidate_error > error) {
+        result.converged = true;  // no descent direction progress possible
+        break;
+      }
+      if (backtracks == 0) step *= 1.1;  // reward: cautiously grow the step
+    }
+
+    const double improvement = error - candidate_error;
+    result.x.swap(candidate);
+    grad.swap(candidate_grad);
+    error = candidate_error;
+    result.error = error;
+    ++result.iterations;
+    if (options.record_trace) result.error_trace.push_back(error);
+
+    if (improvement >= 0.0 && improvement <= options.relative_tolerance * std::abs(error)) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
 
 /// Options for the restart wrapper.
 struct RestartOptions {
@@ -66,8 +139,33 @@ struct RestartOptions {
 
 /// Repeated descent with perturbation restarts (Section 4.2.1): keeps the
 /// best configuration across rounds and reseeds each round by perturbing it.
-GradientDescentResult minimize_with_restarts(const Objective& objective, std::vector<double> x0,
+template <typename ObjectiveFn>
+GradientDescentResult minimize_with_restarts(ObjectiveFn&& objective, std::vector<double> x0,
                                              const GradientDescentOptions& options,
-                                             const RestartOptions& restart, Rng& rng);
+                                             const RestartOptions& restart, Rng& rng) {
+  GradientDescentResult best;
+  bool have_best = false;
+  std::vector<double> seed = std::move(x0);
+
+  for (int round = 0; round < restart.rounds; ++round) {
+    GradientDescentResult r = minimize(objective, seed, options);
+    if (!have_best || r.error < best.error) {
+      // Keep the longest trace view: append this round's trace to the tail.
+      if (have_best && options.record_trace) {
+        r.error_trace.insert(r.error_trace.begin(), best.error_trace.begin(),
+                             best.error_trace.end());
+      }
+      best = std::move(r);
+      have_best = true;
+    } else if (options.record_trace) {
+      // Record that a round happened without improvement, keeping the best E.
+      best.error_trace.push_back(best.error);
+    }
+    // Perturb the best-so-far configuration as the next seed (Section 4.2.1).
+    seed = best.x;
+    for (double& v : seed) v += rng.gaussian(0.0, restart.perturbation_stddev);
+  }
+  return best;
+}
 
 }  // namespace resloc::math

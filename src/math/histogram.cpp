@@ -1,15 +1,20 @@
 #include "math/histogram.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
 
 namespace resloc::math {
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
-  assert(hi > lo && bins > 0);
+  // Real validation, not assert: a Release build fed hi <= lo or bins == 0
+  // would otherwise binning-divide by a zero-or-negative width and fill
+  // garbage bins.
+  if (!(hi > lo) || bins == 0) {
+    throw std::invalid_argument("Histogram: requires hi > lo and bins > 0");
+  }
 }
 
 void Histogram::add(double value) {

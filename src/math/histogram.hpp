@@ -12,6 +12,9 @@ namespace resloc::math {
 /// counted in underflow/overflow.
 class Histogram {
  public:
+  /// Throws std::invalid_argument unless hi > lo and bins > 0 (this also
+  /// rejects NaN bounds). Enforced in every build type -- a malformed range
+  /// would silently produce a zero-or-negative bin width.
   Histogram(double lo, double hi, std::size_t bins);
 
   void add(double value);

@@ -18,7 +18,11 @@ double stddev(const std::vector<double>& v) {
   const double m = mean(v);
   double acc = 0.0;
   for (double x : v) acc += (x - m) * (x - m);
-  return std::sqrt(acc / static_cast<double>(v.size()));
+  // Sample standard deviation (Bessel's correction). The n < 2 guard above
+  // already treats the input as a sample -- a population of one has a
+  // perfectly valid stddev of 0 -- so dividing by N here was inconsistent
+  // and biased every measurement-spread estimate low.
+  return std::sqrt(acc / static_cast<double>(v.size() - 1));
 }
 
 std::optional<double> median(std::vector<double> v) {

@@ -12,7 +12,10 @@ namespace resloc::math {
 /// Arithmetic mean. Returns 0 for an empty input.
 double mean(const std::vector<double>& v);
 
-/// Population standard deviation. Returns 0 for fewer than two samples.
+/// Sample standard deviation (divides by N - 1, Bessel's correction): the
+/// callers estimate the spread of noisy measurements and localization errors
+/// from a sample, not a full population. Returns 0 for fewer than two
+/// samples.
 double stddev(const std::vector<double>& v);
 
 /// Median (average of the two central elements for even sizes).

@@ -72,7 +72,26 @@ PipelineRun LocalizationPipeline::run_on_measurements(const core::Deployment& de
       break;
     }
     case Solver::kCentralizedLss: {
-      const core::LssResult lss = core::localize_lss(out.measurements, config_.lss, rng);
+      core::LssResult lss;
+      if (config_.lss_init == LssInit::kDvHopSeeded && !deployment.anchors.empty()) {
+        // Coarse absolute positions by DV-hop, refined by one LSS descent.
+        // Nodes DV-hop could not place (unreachable from every anchor) fall
+        // back to a random draw in the init box.
+        const core::DvHopResult dv =
+            core::localize_dv_hop(deployment, out.measurements, config_.dv_hop, rng);
+        std::vector<resloc::math::Vec2> initial(deployment.size());
+        for (std::size_t id = 0; id < deployment.size(); ++id) {
+          if (id < dv.result.positions.size() && dv.result.positions[id].has_value()) {
+            initial[id] = *dv.result.positions[id];
+          } else {
+            initial[id] = resloc::math::Vec2{rng.uniform(0.0, config_.lss.init_box_m),
+                                             rng.uniform(0.0, config_.lss.init_box_m)};
+          }
+        }
+        lss = core::localize_lss_from(out.measurements, std::move(initial), config_.lss, rng);
+      } else {
+        lss = core::localize_lss(out.measurements, config_.lss, rng);
+      }
       out.stress = lss.stress;
       std::vector<bool> has_measurement(deployment.size(), false);
       for (const core::DistanceEdge& edge : out.measurements.edges()) {

@@ -13,6 +13,7 @@
 #include <limits>
 
 #include "core/distributed_lss.hpp"
+#include "core/dv_hop.hpp"
 #include "core/lss.hpp"
 #include "core/multilateration.hpp"
 #include "core/types.hpp"
@@ -41,6 +42,21 @@ enum class Solver {
   kDistributedLss,   ///< Section 4.3; root-relative frame, aligned before scoring
 };
 
+/// How the centralized LSS solver is initialized.
+enum class LssInit {
+  /// The paper's scheme: independent random configurations plus perturbation
+  /// restarts. Works to ~100 nodes; beyond that, gradient descent cannot
+  /// repair the global topology of a random start and the solve lands in a
+  /// folded minimum regardless of budget.
+  kRandom,
+  /// Seed from the DV-hop baseline (Section 2's related work, already in
+  /// core/): anchors flood hop counts, every node gets a coarse absolute
+  /// estimate (~5 m at city_1000 scale), and a single LSS descent refines it
+  /// (~0.3 m). The initializer that makes 500-1000-node fields solvable;
+  /// falls back to kRandom when the deployment has no anchors.
+  kDvHopSeeded,
+};
+
 /// Full pipeline configuration. The defaults reproduce the paper's grass-grid
 /// campaign followed by centralized LSS.
 struct PipelineConfig {
@@ -66,6 +82,12 @@ struct PipelineConfig {
   core::DistributedLssOptions distributed;
   /// Root node whose frame the distributed alignment propagates from.
   core::NodeId distributed_root = 0;
+
+  /// Centralized-LSS initialization strategy (see LssInit). kDvHopSeeded is
+  /// what the large-scale sweeps use; the default reproduces the paper.
+  LssInit lss_init = LssInit::kRandom;
+  /// DV-hop settings for the kDvHopSeeded initializer.
+  core::DvHopOptions dv_hop;
 };
 
 /// Everything one pipeline invocation produced.

@@ -7,7 +7,6 @@ using resloc::core::NodeId;
 
 MeasurementSet FieldExperimentData::to_measurement_set(std::size_t node_count) const {
   MeasurementSet set(node_count);
-  set.set_node_count(node_count);
   for (const auto& pair : filtered) {
     set.add(pair.a, pair.b, pair.distance_m, /*weight=*/1.0);
   }

@@ -10,7 +10,6 @@ using resloc::core::NodeId;
 
 MeasurementSet perfect_measurements(const Deployment& deployment, double max_range_m) {
   MeasurementSet set(deployment.size());
-  set.set_node_count(deployment.size());
   for (NodeId i = 0; i < deployment.size(); ++i) {
     for (NodeId j = i + 1; j < deployment.size(); ++j) {
       const double d = resloc::math::distance(deployment.positions[i], deployment.positions[j]);
@@ -23,7 +22,6 @@ MeasurementSet perfect_measurements(const Deployment& deployment, double max_ran
 MeasurementSet gaussian_measurements(const Deployment& deployment,
                                      const GaussianNoiseModel& noise, resloc::math::Rng& rng) {
   MeasurementSet set(deployment.size());
-  set.set_node_count(deployment.size());
   for (NodeId i = 0; i < deployment.size(); ++i) {
     for (NodeId j = i + 1; j < deployment.size(); ++j) {
       const double d = resloc::math::distance(deployment.positions[i], deployment.positions[j]);
@@ -60,7 +58,6 @@ std::size_t augment_with_gaussian(MeasurementSet& measurements, const Deployment
 MeasurementSet subsample_edges(const MeasurementSet& measurements, std::size_t count,
                                resloc::math::Rng& rng) {
   MeasurementSet out(measurements.node_count());
-  out.set_node_count(measurements.node_count());
   auto edges = measurements.edges();
   rng.shuffle(edges);
   if (edges.size() > count) edges.resize(count);

@@ -15,6 +15,22 @@ using resloc::core::NodeId;
 
 namespace {
 
+// Uniform random field that *guarantees* the requested node count: the
+// rejection sampler under it gives up silently when the field saturates, and
+// a 600-node "city_1000" would poison every aggregate labeled n=1000.
+Deployment checked_random_uniform(const char* scenario, std::size_t count, double width_m,
+                                  double height_m, double min_spacing_m,
+                                  resloc::math::Rng& rng) {
+  Deployment d = random_uniform(count, width_m, height_m, min_spacing_m, rng);
+  if (d.positions.size() != count) {
+    throw std::invalid_argument(std::string("scenario '") + scenario + "' saturated at " +
+                                std::to_string(d.positions.size()) + " of " +
+                                std::to_string(count) +
+                                " nodes; lower node_count or the minimum spacing");
+  }
+  return d;
+}
+
 // Near-square offset grid with exactly `node_count` positions (row-major
 // trim of the last column), or the canonical 7x7 when node_count is 0.
 Deployment sized_offset_grid(std::size_t node_count) {
@@ -96,6 +112,46 @@ std::map<std::string, ScenarioEntry> make_builtins() {
                          return d;
                        },
                        "wooded"};
+
+  // --- Large-scale workloads (the ROADMAP's production-scale axis). The
+  // paper stops at ~60 nodes; these keep its ~8-9 m spacing regime and the
+  // 22 m synthetic ranging cutoff meaningful while growing n by 10-20x.
+  // Field areas hold the packing fraction near 0.25 so the rejection sampler
+  // stays fast and cannot saturate. ---
+
+  // Campus-sized deployment: 500 nodes over ~8 hectares of open ground
+  // (~154 m^2 per node -> ~10 in-range neighbors at the 22 m cutoff).
+  m["campus_500"] = {[](const ScenarioParams& p, resloc::math::Rng& rng) {
+                       const std::size_t count = p.node_count == 0 ? 500 : p.node_count;
+                       Deployment d =
+                           checked_random_uniform("campus_500", count, 320.0, 240.0, 7.0, rng);
+                       drop_random_nodes(d, p.drop_count, rng);
+                       return d;
+                     },
+                     "grass"};
+  // City-district deployment: 1000 nodes over ~11 hectares of urban terrain,
+  // denser than the campus (~113 m^2 per node, ~13 in-range neighbors).
+  m["city_1000"] = {[](const ScenarioParams& p, resloc::math::Rng& rng) {
+                      const std::size_t count = p.node_count == 0 ? 1000 : p.node_count;
+                      Deployment d =
+                          checked_random_uniform("city_1000", count, 390.0, 290.0, 6.0, rng);
+                      drop_random_nodes(d, p.drop_count, rng);
+                      return d;
+                    },
+                    "urban"};
+  // Density-invariant uniform field for node-count sweeps: the square side
+  // grows with sqrt(n) so each node keeps ~144 m^2 regardless of n -- a
+  // node_counts axis over this scenario varies scale, not crowding.
+  m["uniform_n"] = {[](const ScenarioParams& p, resloc::math::Rng& rng) {
+                      const std::size_t count = p.node_count == 0 ? 100 : p.node_count;
+                      const double side =
+                          12.0 * std::sqrt(static_cast<double>(count));
+                      Deployment d =
+                          checked_random_uniform("uniform_n", count, side, side, 6.0, rng);
+                      drop_random_nodes(d, p.drop_count, rng);
+                      return d;
+                    },
+                    ""};
   return m;
 }
 

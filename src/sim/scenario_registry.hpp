@@ -49,6 +49,13 @@ using ScenarioBuilder =
 ///                       (random 70 x 55 m, 6 m minimum spacing)
 ///   "wooded_patch"   -- 30 nodes over a 60 x 60 m wooded area (native size;
 ///                       the strongest-absorption terrain of Section 3.6)
+///   "campus_500"     -- 500 nodes over 320 x 240 m of grass (large scale)
+///   "city_1000"      -- 1000 nodes over 390 x 290 m of urban terrain
+///   "uniform_n"      -- parameterized uniform field whose side grows with
+///                       sqrt(node_count) (constant density; for node_counts
+///                       sweeps). Native size 100.
+/// The three large-scale scenarios throw std::invalid_argument instead of
+/// silently under-filling when the requested count cannot fit the field.
 std::vector<std::string> scenario_names();
 
 bool has_scenario(const std::string& name);

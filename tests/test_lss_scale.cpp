@@ -1,0 +1,369 @@
+// Locks the solver-scaling contract of the spatial-grid LSS rewrite:
+//   - the grid-backed soft-constraint path is BIT-equal to the dense
+//     all-pairs scan (error and every gradient component, to the last ulp),
+//   - the SpatialHashGrid's neighborhood/pair enumeration never misses a
+//     point pair within one cell size of each other,
+//   - the analytic gradient of both stress terms matches finite differences
+//     (so neither this rewrite nor a future objective edit can silently ship
+//     a wrong gradient),
+//   - the large-scale scenarios and the DV-hop-seeded pipeline mode work end
+//     to end at a few hundred nodes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "core/lss.hpp"
+#include "eval/metrics.hpp"
+#include "math/rng.hpp"
+#include "math/spatial_hash_grid.hpp"
+#include "pipeline/localization_pipeline.hpp"
+#include "sim/deployments.hpp"
+#include "sim/measurement_gen.hpp"
+#include "sim/scenario_registry.hpp"
+
+namespace {
+
+using namespace resloc::core;
+using resloc::math::Rng;
+using resloc::math::SpatialHashGrid;
+using resloc::math::Vec2;
+
+// --- Dense-vs-grid bit-equivalence ---
+
+/// Random configuration + random sparse measurement set; box side controls
+/// how violated the constraint is (small box = everything overlapping).
+void expect_paths_bit_equal(std::size_t n, double box, double dmin, double measured_fraction,
+                            std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec2> config(n);
+  for (auto& v : config) v = Vec2{rng.uniform(-box / 2.0, box / 2.0), rng.uniform(0.0, box)};
+  MeasurementSet meas(n);
+  for (NodeId i = 0; i + 1 < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      if (rng.bernoulli(measured_fraction)) {
+        meas.add(i, j, rng.uniform(0.5, box), rng.uniform(0.5, 2.0));
+      }
+    }
+  }
+
+  LssOptions grid_opt;
+  grid_opt.min_spacing_m = dmin;
+  LssOptions dense_opt = grid_opt;
+  dense_opt.dense_constraint_scan = true;
+
+  std::vector<double> grid_grad;
+  std::vector<double> dense_grad;
+  const double grid_e = lss_stress_with_gradient(meas, config, grid_opt, grid_grad);
+  const double dense_e = lss_stress_with_gradient(meas, config, dense_opt, dense_grad);
+
+  // Bit equality, not tolerance: both paths must run identical arithmetic in
+  // identical order.
+  EXPECT_EQ(grid_e, dense_e) << "n=" << n << " box=" << box << " seed=" << seed;
+  ASSERT_EQ(grid_grad.size(), dense_grad.size());
+  for (std::size_t k = 0; k < grid_grad.size(); ++k) {
+    EXPECT_EQ(grid_grad[k], dense_grad[k])
+        << "grad[" << k << "] n=" << n << " box=" << box << " seed=" << seed;
+  }
+}
+
+TEST(LssGridEquivalence, RandomConfigurationsAcrossScales) {
+  std::uint64_t seed = 100;
+  for (const std::size_t n : {2u, 3u, 7u, 20u, 60u, 150u}) {
+    for (const double box : {120.0, 40.0, 8.0}) {  // spread, busy, heavily violated
+      expect_paths_bit_equal(n, box, 9.14, 0.15, seed++);
+    }
+  }
+}
+
+TEST(LssGridEquivalence, AllPointsInOneCell) {
+  // Every pair active and in the same grid cell: the worst clustering case.
+  expect_paths_bit_equal(40, 3.0, 9.0, 0.3, 7);
+}
+
+TEST(LssGridEquivalence, PointsOnCellBoundaries) {
+  // Coordinates at exact multiples of d_min (cell edges) and coincident
+  // points (the kMinSeparation guard).
+  const double dmin = 9.0;
+  std::vector<Vec2> config;
+  for (int x = -2; x <= 2; ++x) {
+    for (int y = -2; y <= 2; ++y) {
+      config.push_back(Vec2{x * dmin, y * dmin});
+    }
+  }
+  config.push_back(config.front());  // exact duplicate
+  const std::size_t n = config.size();
+  MeasurementSet meas(n);
+  meas.add(0, 1, 5.0);
+
+  LssOptions grid_opt;
+  grid_opt.min_spacing_m = dmin;
+  LssOptions dense_opt = grid_opt;
+  dense_opt.dense_constraint_scan = true;
+  std::vector<double> g1;
+  std::vector<double> g2;
+  EXPECT_EQ(lss_stress_with_gradient(meas, config, grid_opt, g1),
+            lss_stress_with_gradient(meas, config, dense_opt, g2));
+  EXPECT_EQ(g1, g2);
+}
+
+TEST(LssGridEquivalence, SolvesIdentically) {
+  // Whole solves (restarts, backtracking, the lot) agree bit-for-bit when
+  // seeded identically: the grid changes the cost of a solve, never its
+  // trajectory.
+  Rng noise(3);
+  const auto town = resloc::sim::town_blocks_59();
+  const auto meas = resloc::sim::gaussian_measurements(town, {}, noise);
+  LssOptions grid_opt;
+  grid_opt.independent_inits = 1;
+  grid_opt.restarts.rounds = 2;
+  grid_opt.gd.max_iterations = 400;
+  LssOptions dense_opt = grid_opt;
+  dense_opt.dense_constraint_scan = true;
+  Rng r1(17);
+  Rng r2(17);
+  const auto a = localize_lss(meas, grid_opt, r1);
+  const auto b = localize_lss(meas, dense_opt, r2);
+  EXPECT_EQ(a.stress, b.stress);
+  EXPECT_EQ(a.iterations, b.iterations);
+  ASSERT_EQ(a.positions.size(), b.positions.size());
+  for (std::size_t i = 0; i < a.positions.size(); ++i) {
+    EXPECT_EQ(a.positions[i].x, b.positions[i].x);
+    EXPECT_EQ(a.positions[i].y, b.positions[i].y);
+  }
+}
+
+// --- SpatialHashGrid unit tests ---
+
+TEST(SpatialHashGrid, NeighborhoodIsSupersetOfRadius) {
+  Rng rng(41);
+  const std::size_t n = 200;
+  const double cell = 7.5;
+  std::vector<double> xs(n);
+  std::vector<double> ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = rng.uniform(-60.0, 60.0);
+    ys[i] = rng.uniform(-45.0, 75.0);
+  }
+  SpatialHashGrid grid;
+  grid.rebuild(xs.data(), ys.data(), n, cell);
+  ASSERT_EQ(grid.point_count(), n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    std::set<std::size_t> seen;
+    grid.for_each_neighborhood_point(i, [&](std::size_t j) {
+      EXPECT_TRUE(seen.insert(j).second) << "duplicate emission of " << j;
+    });
+    EXPECT_TRUE(seen.count(i)) << "neighborhood must include the point itself";
+    for (std::size_t j = 0; j < n; ++j) {
+      const double dx = xs[i] - xs[j];
+      const double dy = ys[i] - ys[j];
+      if (dx * dx + dy * dy < cell * cell) {
+        EXPECT_TRUE(seen.count(j)) << "missed in-range neighbor " << j << " of " << i;
+      }
+    }
+  }
+}
+
+TEST(SpatialHashGrid, CandidatePairsCoverAllCloseOnes) {
+  Rng rng(42);
+  const std::size_t n = 300;
+  const double cell = 5.0;
+  std::vector<double> xs(n);
+  std::vector<double> ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Mix of a dense clump and a spread field, including negative coords.
+    const bool clump = i % 3 == 0;
+    xs[i] = clump ? rng.uniform(-3.0, 3.0) : rng.uniform(-80.0, 80.0);
+    ys[i] = clump ? rng.uniform(-3.0, 3.0) : rng.uniform(-80.0, 80.0);
+  }
+  SpatialHashGrid grid;
+  grid.rebuild(xs.data(), ys.data(), n, cell);
+
+  std::set<std::pair<std::size_t, std::size_t>> emitted;
+  grid.for_each_candidate_pair([&](std::size_t i, std::size_t j) {
+    ASSERT_LT(i, j);
+    EXPECT_TRUE(emitted.emplace(i, j).second) << "pair emitted twice: " << i << "," << j;
+  });
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = xs[i] - xs[j];
+      const double dy = ys[i] - ys[j];
+      if (dx * dx + dy * dy < cell * cell) {
+        EXPECT_TRUE(emitted.count({i, j})) << "missed close pair " << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(SpatialHashGrid, SurvivesExtremeAndNonFiniteCoordinates) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> xs{0.0, 1e12, -1e12, inf, -inf, nan, 3.0};
+  const std::vector<double> ys{0.0, -1e12, 1e12, -inf, inf, nan, 4.0};
+  SpatialHashGrid grid;
+  grid.rebuild(xs.data(), ys.data(), xs.size(), 9.0);
+  std::size_t pairs = 0;
+  grid.for_each_candidate_pair([&](std::size_t, std::size_t) { ++pairs; });
+  // Points 0 and 6 are 5 m apart and must be candidates regardless of the
+  // garbage around them.
+  bool found = false;
+  grid.for_each_neighborhood_point(0, [&](std::size_t j) { found |= (j == 6); });
+  EXPECT_TRUE(found);
+  EXPECT_GE(pairs, 1u);
+}
+
+TEST(SpatialHashGrid, EmptyAndSingle) {
+  SpatialHashGrid grid;
+  grid.rebuild(nullptr, nullptr, 0, 5.0);
+  EXPECT_EQ(grid.point_count(), 0u);
+  std::size_t emissions = 0;
+  grid.for_each_candidate_pair([&](std::size_t, std::size_t) { ++emissions; });
+  EXPECT_EQ(emissions, 0u);
+
+  const double x = 2.0;
+  const double y = -3.0;
+  grid.rebuild(&x, &y, 1, 5.0);
+  grid.for_each_candidate_pair([&](std::size_t, std::size_t) { ++emissions; });
+  EXPECT_EQ(emissions, 0u);
+  std::size_t self = 0;
+  grid.for_each_neighborhood_point(0, [&](std::size_t j) { self += (j == 0); });
+  EXPECT_EQ(self, 1u);
+}
+
+// --- Finite-difference gradient checks ---
+
+/// Central-difference check of lss_stress_with_gradient around `config`.
+void expect_gradient_matches_fd(const MeasurementSet& meas, const std::vector<Vec2>& config,
+                                const LssOptions& options) {
+  std::vector<double> grad;
+  lss_stress_with_gradient(meas, config, options, grad);
+  const double h = 1e-6;
+  const std::size_t n = config.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int axis = 0; axis < 2; ++axis) {
+      std::vector<Vec2> plus = config;
+      std::vector<Vec2> minus = config;
+      (axis == 0 ? plus[i].x : plus[i].y) += h;
+      (axis == 0 ? minus[i].x : minus[i].y) -= h;
+      const double fd =
+          (lss_stress(meas, plus, options) - lss_stress(meas, minus, options)) / (2.0 * h);
+      const double analytic = grad[axis == 0 ? i : n + i];
+      EXPECT_NEAR(analytic, fd, 1e-4 * std::max(1.0, std::abs(fd)))
+          << "node " << i << " axis " << axis;
+    }
+  }
+}
+
+TEST(LssGradient, MeasuredEdgeTermMatchesFiniteDifference) {
+  Rng rng(55);
+  const std::size_t n = 8;
+  std::vector<Vec2> config(n);
+  for (auto& v : config) v = Vec2{rng.uniform(0.0, 30.0), rng.uniform(0.0, 30.0)};
+  MeasurementSet meas(n);
+  for (NodeId i = 0; i + 1 < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      if (rng.bernoulli(0.6)) meas.add(i, j, rng.uniform(2.0, 25.0), rng.uniform(0.5, 2.0));
+    }
+  }
+  LssOptions opt;
+  opt.min_spacing_m.reset();  // edge term only
+  expect_gradient_matches_fd(meas, config, opt);
+}
+
+TEST(LssGradient, SoftConstraintTermMatchesFiniteDifference) {
+  Rng rng(56);
+  const std::size_t n = 8;
+  std::vector<Vec2> config(n);
+  // Cramped: most pairs violate the 9 m spacing, none measured.
+  for (auto& v : config) v = Vec2{rng.uniform(0.0, 14.0), rng.uniform(0.0, 14.0)};
+  MeasurementSet meas(n);  // empty: every pair is a constraint candidate
+  LssOptions opt;
+  opt.min_spacing_m = 9.0;
+  opt.constraint_weight = 10.0;
+  EXPECT_GT(lss_stress(meas, config, opt), 0.0);  // the term must actually fire
+  expect_gradient_matches_fd(meas, config, opt);
+}
+
+TEST(LssGradient, CombinedObjectiveMatchesFiniteDifference) {
+  Rng rng(57);
+  const std::size_t n = 10;
+  std::vector<Vec2> config(n);
+  for (auto& v : config) v = Vec2{rng.uniform(0.0, 20.0), rng.uniform(0.0, 20.0)};
+  MeasurementSet meas(n);
+  for (NodeId i = 0; i + 1 < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      if (rng.bernoulli(0.3)) meas.add(i, j, rng.uniform(2.0, 18.0));
+    }
+  }
+  LssOptions opt;
+  opt.min_spacing_m = 9.14;
+  expect_gradient_matches_fd(meas, config, opt);
+}
+
+// --- Large-scale scenarios and the DV-hop-seeded pipeline ---
+
+TEST(ScaleScenarios, RegistryEntriesBuildAtNativeSize) {
+  Rng rng(9);
+  resloc::sim::ScenarioParams params;
+  EXPECT_EQ(resloc::sim::build_scenario("campus_500", params, rng).size(), 500u);
+  EXPECT_EQ(resloc::sim::build_scenario("city_1000", params, rng).size(), 1000u);
+  EXPECT_EQ(resloc::sim::build_scenario("uniform_n", params, rng).size(), 100u);
+  params.node_count = 37;
+  EXPECT_EQ(resloc::sim::build_scenario("uniform_n", params, rng).size(), 37u);
+  EXPECT_EQ(resloc::sim::scenario_environment("city_1000"), "urban");
+}
+
+TEST(ScaleScenarios, SaturatedFieldThrowsInsteadOfUnderfilling) {
+  Rng rng(10);
+  resloc::sim::ScenarioParams params;
+  params.node_count = 5000;  // cannot fit 5000 nodes at 7 m spacing in 320x240
+  EXPECT_THROW(resloc::sim::build_scenario("campus_500", params, rng), std::invalid_argument);
+}
+
+TEST(ScalePipeline, DvHopSeededLssLocalizesMidSizeField) {
+  Rng deploy_rng(21);
+  resloc::sim::ScenarioParams params;
+  params.node_count = 150;
+  auto deployment = resloc::sim::build_scenario("uniform_n", params, deploy_rng);
+  Rng anchor_rng(22);
+  resloc::sim::choose_random_anchors(deployment, 15, anchor_rng);
+
+  resloc::pipeline::PipelineConfig config;
+  config.source = resloc::pipeline::MeasurementSource::kSyntheticGaussian;
+  config.solver = resloc::pipeline::Solver::kCentralizedLss;
+  config.lss_init = resloc::pipeline::LssInit::kDvHopSeeded;
+  config.lss.restarts.rounds = 3;
+  const resloc::pipeline::LocalizationPipeline pipe(config);
+  Rng run_rng(23);
+  const auto run = pipe.run(deployment, run_rng);
+  // 150 nodes is far beyond what random-init LSS unfolds reliably; the
+  // DV-hop seed must bring the refined error down to ranging-noise scale.
+  EXPECT_GT(run.report.localized, 140u);
+  EXPECT_LT(run.report.average_error_m, 1.5);
+}
+
+// --- MeasurementSet adjacency index ---
+
+TEST(MeasurementSetAdjacency, ReplacementUpdatesDistanceWithoutDuplicates) {
+  MeasurementSet set(3);
+  set.add(0, 1, 5.0);
+  set.add(1, 2, 2.0);
+  set.add(1, 0, 7.5);  // replaces 0-1, reversed order
+  const auto n1 = set.neighbors(1);
+  ASSERT_EQ(n1.size(), 2u);
+  EXPECT_EQ(n1[0].first, 0u);
+  EXPECT_DOUBLE_EQ(n1[0].second, 7.5);
+  EXPECT_EQ(n1[1].first, 2u);
+  EXPECT_EQ(set.degree(1), 2u);
+  EXPECT_EQ(set.degree(2), 1u);
+  EXPECT_EQ(set.degree(99), 0u);  // out of range: no neighbors, no throw
+  EXPECT_TRUE(set.neighbors(99).empty());
+}
+
+}  // namespace

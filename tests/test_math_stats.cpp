@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 
 #include "math/histogram.hpp"
 #include "math/stats.hpp"
@@ -19,7 +21,14 @@ TEST(Stats, StddevBasics) {
   EXPECT_DOUBLE_EQ(stddev({}), 0.0);
   EXPECT_DOUBLE_EQ(stddev({3.0}), 0.0);
   EXPECT_DOUBLE_EQ(stddev({2.0, 2.0, 2.0}), 0.0);
-  EXPECT_NEAR(stddev({1.0, -1.0, 1.0, -1.0}), 1.0, 1e-12);
+}
+
+TEST(Stats, StddevIsSampleStddev) {
+  // Bessel's correction: divide by N - 1, not N. {2, 4}: mean 3, squared
+  // deviations sum 2 -> sample stddev sqrt(2) (population would be 1).
+  EXPECT_DOUBLE_EQ(stddev({2.0, 4.0}), std::sqrt(2.0));
+  // {1, -1, 1, -1}: sum of squared deviations 4, N - 1 = 3.
+  EXPECT_NEAR(stddev({1.0, -1.0, 1.0, -1.0}), std::sqrt(4.0 / 3.0), 1e-12);
 }
 
 TEST(Stats, MedianOdd) { EXPECT_DOUBLE_EQ(*median({3.0, 1.0, 2.0}), 2.0); }
@@ -84,6 +93,18 @@ TEST(Stats, FractionWithin) {
   EXPECT_DOUBLE_EQ(fraction_within(v, 0.3), 2.0 / 5.0);
   EXPECT_DOUBLE_EQ(fraction_within(v, 10.0), 1.0);
   EXPECT_DOUBLE_EQ(fraction_within({}, 1.0), 0.0);
+}
+
+TEST(Histogram, RejectsMalformedRanges) {
+  // Enforced in Release too (throw, not assert): hi <= lo or zero bins would
+  // produce a zero-or-negative bin width and garbage binning.
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, -1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 10.0, 0), std::invalid_argument);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(Histogram(nan, 10.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, nan, 4), std::invalid_argument);
+  EXPECT_NO_THROW(Histogram(-5.0, 5.0, 1));
 }
 
 TEST(Histogram, BasicBinning) {
