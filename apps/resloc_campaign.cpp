@@ -147,6 +147,47 @@ std::map<std::string, NamedSweep> sweep_catalog() {
     spec.base.lss.init_box_m = 130.0;  // uniform_n at n=100 spans ~120 m
     catalog["scale_smoke"] = {"node_counts x solver smoke cut of 'scale' (4 trials, CI)", spec};
   }
+  {  // The full acoustic ranging stack at the large-scale tier: the same
+     // {campus_500, city_1000} x solver grid as 'scale', but every trial runs
+     // the complete Section 3 campaign (chirps, accumulation, filtering,
+     // bidirectional consistency) instead of the Gaussian shortcut. Viable
+     // because measurement acquisition is grid-culled (O(n + in-range pairs)
+     // per round, O(1) shadowing memory, see BENCH_campaign.json) -- the seed
+     // front end scanned rounds x n^2 pairs and held an n^2 shadowing matrix.
+    SweepSpec spec;
+    spec.name = "acoustic_scale";
+    spec.base.source = MeasurementSource::kAcousticRanging;
+    spec.trials_per_cell = 2;
+    spec.axes.scenarios = {"campus_500", "city_1000"};
+    spec.axes.solvers = {Solver::kMultilateration, Solver::kCentralizedLss};
+    spec.axes.anchor_counts = {40};
+    spec.base.multilateration.progressive = true;
+    spec.base.lss_init = resloc::pipeline::LssInit::kDvHopSeeded;
+    spec.base.lss.restarts.rounds = 3;
+    spec.base.lss.gd.max_iterations = 2500;
+    spec.base.lss.init_box_m = 400.0;
+    catalog["acoustic_scale"] = {
+        "full acoustic campaign at scale: {campus_500, city_1000} x {multilat, lss} (8 trials)",
+        spec};
+  }
+  {  // Small-n cut of the acoustic scale axes for CI: the 1-vs-N-thread
+     // byte-identity checks (runner threads and intra-campaign
+     // --campaign-threads) run on exactly these cells.
+    SweepSpec spec;
+    spec.name = "acoustic_scale_smoke";
+    spec.base.source = MeasurementSource::kAcousticRanging;
+    spec.trials_per_cell = 1;
+    spec.axes.scenarios = {"uniform_n"};
+    spec.axes.node_counts = {64, 100};
+    spec.axes.solvers = {Solver::kMultilateration, Solver::kCentralizedLss};
+    spec.axes.anchor_counts = {16};
+    spec.base.multilateration.progressive = true;
+    spec.base.lss_init = resloc::pipeline::LssInit::kDvHopSeeded;
+    spec.base.lss.restarts.rounds = 3;
+    spec.base.lss.init_box_m = 130.0;  // uniform_n at n=100 spans ~120 m
+    catalog["acoustic_scale_smoke"] = {
+        "node_counts x solver smoke cut of 'acoustic_scale' (4 trials, CI)", spec};
+  }
   {  // The full Section 3 service swept across terrains and hardware: every
      // trial runs the complete acoustic campaign (chirp patterns, 4-bit
      // accumulation, T-of-k detection, silence verification, filtering,
@@ -183,12 +224,17 @@ std::map<std::string, NamedSweep> sweep_catalog() {
 void print_usage() {
   std::puts(
       "usage: resloc_campaign [--sweep NAME] [--threads N] [--seed S]\n"
-      "                       [--trials K] [--json PATH] [--csv PATH] [--list]\n"
+      "                       [--campaign-threads N] [--trials K]\n"
+      "                       [--json PATH] [--csv PATH] [--list]\n"
       "\n"
       "  --sweep NAME   named sweep to run (default: grid)\n"
       "  --threads N    worker threads (default: hardware concurrency)\n"
       "  --seed S       master seed; aggregates are byte-identical per seed\n"
       "                 at any thread count (default: 1)\n"
+      "  --campaign-threads N\n"
+      "                 worker threads inside each acoustic ranging campaign\n"
+      "                 (the per-trial measurement loop); byte-identical\n"
+      "                 aggregates at any value (default: 1)\n"
       "  --trials K     override the sweep's trials-per-cell\n"
       "  --json PATH    write the deterministic JSON aggregate report\n"
       "  --csv PATH     write the deterministic per-cell CSV table\n"
@@ -215,6 +261,7 @@ int main(int argc, char** argv) {
   std::string csv_path;
   std::uint64_t seed = 1;
   std::uint64_t threads = 0;
+  std::uint64_t campaign_threads = 0;
   std::uint64_t trials_override = 0;
   bool list = false;
 
@@ -246,6 +293,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--threads") {
       if (!parse_u64(need_value("--threads"), threads) || threads > 4096) {
         std::fprintf(stderr, "error: --threads expects an integer in [0, 4096]\n");
+        return 2;
+      }
+    } else if (arg == "--campaign-threads") {
+      if (!parse_u64(need_value("--campaign-threads"), campaign_threads) ||
+          campaign_threads > 4096) {
+        std::fprintf(stderr, "error: --campaign-threads expects an integer in [0, 4096]\n");
         return 2;
       }
     } else if (arg == "--trials") {
@@ -292,6 +345,13 @@ int main(int argc, char** argv) {
   SweepSpec spec = it->second.spec;
   spec.seed = seed;
   if (trials_override != 0) spec.trials_per_cell = static_cast<std::size_t>(trials_override);
+  if (campaign_threads != 0) {
+    // Intra-trial parallelism of the acoustic measurement loop; a no-op for
+    // synthetic sweeps. Determinism is unconditional (every (round, source)
+    // turn draws from its own counter-indexed substream), so this dial only
+    // changes wall time, never report bytes -- CI cmp-enforces that.
+    spec.base.campaign.threads = static_cast<int>(campaign_threads);
+  }
 
   const CampaignRunner runner(RunnerOptions{static_cast<unsigned>(threads)});
   const CampaignResult result = runner.run(spec);

@@ -1,0 +1,329 @@
+// Measurement acquisition at production scale: grid-culled pair enumeration
+// + counter-based RNG substreams vs the seed's O(n^2) front end.
+//
+// Three claims are measured and gated:
+//   1. Pair-set equivalence. The spatial-grid front end must find exactly
+//      the dense scan's in-range pair set at every scale point -- the delta
+//      (pairs found by one path and not the other) must be 0. The campaign
+//      outputs themselves are byte-equal (locked by test_campaign_scale);
+//      this bench re-checks the pair sets standalone.
+//   2. Front-end speedup. The acquisition front end -- pair enumeration plus
+//      per-link shadowing setup, everything the campaign does besides running
+//      the acoustic physics -- is timed via rounds=0 campaigns: the dense
+//      reference path pays the seed's n(n-1)/2 distance scan, n^2-entry
+//      shadowing matrix, and 500k substream draws at n=1000; the grid path
+//      pays O(n + in-range pairs). Gate: >= 10x at n = 1000.
+//   3. End-to-end campaign speedup. Full campaigns (units, enumeration,
+//      shadowing, every chirp sequence, filtering) at n in {100, 500, 1000}.
+//      At survey density (uniform_n, ~9 in-range neighbors) the acoustic
+//      physics both paths share dominates and bounds the e2e gain near 1x --
+//      reported honestly as the Amdahl floor. The regime the motivation
+//      names ("almost all pairs rejected by the cutoff") is the wide-area
+//      point: 1000 nodes across a ~8.5 km square ranged by the Section 3.1
+//      urban baseline service, where acquisition overhead dominates and the
+//      e2e campaign speedup is gated at >= 10x single-threaded.
+//
+// The allocation note: global new/delete are counted, and the grid
+// campaign's steady-state allocations per measurement attempt are reported --
+// the hot loop itself allocates nothing per pair (scratch reuse + reserved
+// aggregation); what remains is result storage (the raw MeasurementTable's
+// per-directed-pair nodes, the filter's per-pair scratch), i.e.
+// O(successful estimates), not O(n^2).
+//
+// Results are printed and written as JSON (default BENCH_campaign.json, or
+// argv[1]) so CI can archive the perf trajectory alongside BENCH_lss.json.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "eval/aggregate.hpp"
+#include "math/grid_pairs.hpp"
+#include "sim/field_experiment.hpp"
+#include "sim/scenario_registry.hpp"
+#include "sim/scenarios.hpp"
+
+using namespace resloc;
+
+// --- Global allocation counter (this binary only). ---
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+bool g_count_allocs = false;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_count_allocs) g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+template <typename Fn>
+double best_of(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = now_s();
+    fn();
+    const double dt = now_s() - t0;
+    if (dt < best) best = dt;
+  }
+  return best;
+}
+
+volatile std::size_t g_sink = 0;  // keeps campaign results alive in timed loops
+
+/// In-range unordered pairs by the dense reference scan (the campaign's
+/// inclusive d <= cutoff predicate).
+std::vector<std::pair<std::uint32_t, std::uint32_t>> dense_pair_set(
+    const core::Deployment& d, double cutoff) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> out;
+  for (std::uint32_t i = 0; i + 1 < d.size(); ++i) {
+    for (std::uint32_t j = i + 1; j < d.size(); ++j) {
+      if (math::distance(d.positions[i], d.positions[j]) <= cutoff) out.emplace_back(i, j);
+    }
+  }
+  return out;
+}
+
+/// Symmetric difference size between the dense pair set and the grid
+/// enumerator's -- the "pair-set delta" the gates pin at 0.
+std::size_t pair_set_delta(const core::Deployment& d, double cutoff,
+                           std::size_t* in_range = nullptr) {
+  const auto dense = dense_pair_set(d, cutoff);
+  math::GridPairEnumerator grid;
+  grid.build(d.positions.data(), d.size(), cutoff, /*include_equal=*/true);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> grid_set;
+  grid_set.reserve(grid.pair_count());
+  grid.for_each_pair([&](std::size_t i, std::size_t j, double) {
+    grid_set.emplace_back(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j));
+  });
+  if (in_range != nullptr) *in_range = dense.size();
+  // Both are (i, j)-lexicographic; count mismatches by merge.
+  std::size_t delta = 0, a = 0, b = 0;
+  while (a < dense.size() || b < grid_set.size()) {
+    if (a < dense.size() && b < grid_set.size() && dense[a] == grid_set[b]) {
+      ++a;
+      ++b;
+    } else if (b >= grid_set.size() || (a < dense.size() && dense[a] < grid_set[b])) {
+      ++delta;
+      ++a;
+    } else {
+      ++delta;
+      ++b;
+    }
+  }
+  return delta;
+}
+
+struct ScalePoint {
+  std::size_t n = 0;
+  std::size_t in_range_pairs = 0;
+  std::size_t pair_delta = 0;
+  double front_dense_ms = 0.0;
+  double front_grid_ms = 0.0;
+  double front_speedup = 0.0;
+  double e2e_dense_s = 0.0;
+  double e2e_grid_s = 0.0;
+  double e2e_speedup = 0.0;
+  std::size_t raw_estimates = 0;
+};
+
+ScalePoint run_scale_point(std::size_t n) {
+  ScalePoint point;
+  point.n = n;
+  math::Rng deploy_rng(0xAC5 + n);
+  sim::ScenarioParams params;
+  params.node_count = n;
+  const core::Deployment deployment = sim::build_scenario("uniform_n", params, deploy_rng);
+  const sim::FieldExperimentConfig config = sim::grass_campaign_config();
+
+  point.pair_delta = pair_set_delta(deployment, config.simulate_within_m, &point.in_range_pairs);
+
+  const auto campaign_time = [&](bool dense, int rounds, int reps) {
+    sim::FieldExperimentConfig c = config;
+    c.dense_pair_scan = dense;
+    c.rounds = rounds;
+    return best_of(reps, [&] {
+      math::Rng rng(7);
+      const auto data = sim::run_field_experiment(deployment, c, rng);
+      g_sink = data.samples.size() + data.skipped_pairs;
+    });
+  };
+
+  // Front end alone: rounds=0 runs everything except the acoustic physics.
+  point.front_dense_ms = campaign_time(true, /*rounds=*/0, /*reps=*/5) * 1e3;
+  point.front_grid_ms = campaign_time(false, /*rounds=*/0, /*reps=*/5) * 1e3;
+  point.front_speedup = point.front_dense_ms / point.front_grid_ms;
+
+  // Full campaign at survey density: the shared physics is the Amdahl floor.
+  const int reps = 2;
+  point.e2e_dense_s = campaign_time(true, config.rounds, reps);
+  point.e2e_grid_s = campaign_time(false, config.rounds, reps);
+  point.e2e_speedup = point.e2e_dense_s / point.e2e_grid_s;
+  {
+    sim::FieldExperimentConfig c = config;
+    math::Rng rng(7);
+    point.raw_estimates = sim::run_field_experiment(deployment, c, rng).samples.size();
+  }
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_campaign.json";
+  bench::print_banner(
+      "Measurement acquisition: grid-culled pair enumeration vs dense O(n^2) front end");
+
+  std::vector<ScalePoint> points;
+  for (const std::size_t n : {100u, 500u, 1000u}) points.push_back(run_scale_point(n));
+
+  std::puts("survey density (uniform_n, grass campaign, 3 rounds)");
+  std::puts(
+      "      n   in-range   delta   front dense   front grid   front-speedup   e2e dense   "
+      "e2e grid   e2e-speedup");
+  for (const ScalePoint& p : points) {
+    std::printf("  %5zu  %9zu  %6zu  %9.2f ms  %8.2f ms  %12.1fx  %8.2f s  %7.2f s  %10.2fx\n",
+                p.n, p.in_range_pairs, p.pair_delta, p.front_dense_ms, p.front_grid_ms,
+                p.front_speedup, p.e2e_dense_s, p.e2e_grid_s, p.e2e_speedup);
+  }
+  std::puts(
+      "  (front end = rounds=0 campaign: enumeration + shadowing setup, the stage this\n"
+      "   rewrite replaced; at survey density the full campaign is dominated by the\n"
+      "   acoustic physics both paths share, so its e2e speedup sits near the Amdahl\n"
+      "   floor of ~1x -- the honest number for dense fields)");
+
+  // --- The motivation's regime: a wide-area survey where almost every pair
+  // is beyond the cutoff and acquisition overhead dominates. 1000 nodes
+  // across ~8.5 km, Section 3.1 urban baseline service. ---
+  core::Deployment wide;
+  {
+    math::Rng rng(0xA11CE);
+    const double side = 8500.0;
+    for (int i = 0; i < 1000; ++i) {
+      wide.positions.push_back({rng.uniform(0.0, side), rng.uniform(0.0, side)});
+    }
+  }
+  const sim::FieldExperimentConfig wide_config = sim::urban_baseline_campaign_config();
+  std::size_t wide_in_range = 0;
+  const std::size_t wide_delta =
+      pair_set_delta(wide, wide_config.simulate_within_m, &wide_in_range);
+  const auto wide_time = [&](bool dense) {
+    sim::FieldExperimentConfig c = wide_config;
+    c.dense_pair_scan = dense;
+    return best_of(3, [&] {
+      math::Rng rng(7);
+      const auto data = sim::run_field_experiment(wide, c, rng);
+      g_sink = data.samples.size() + data.skipped_pairs;
+    });
+  };
+  const double wide_dense_s = wide_time(true);
+  const double wide_grid_s = wide_time(false);
+  const double wide_speedup = wide_dense_s / wide_grid_s;
+  std::printf(
+      "\nwide-area e2e campaign, n = 1000 over 8.5 km square (urban baseline service,\n"
+      "%zu of 499500 pairs in range, delta %zu)\n",
+      wide_in_range, wide_delta);
+  std::printf("  dense front end   %8.2f ms\n", wide_dense_s * 1e3);
+  std::printf("  spatial grid      %8.2f ms\n", wide_grid_s * 1e3);
+  std::printf("  e2e speedup       %8.1fx  (single-threaded; gate >= 10x)\n", wide_speedup);
+
+  // --- Allocation note: steady-state allocations per measurement attempt in
+  // the grid campaign's hot loop (n = 500 survey field). ---
+  double allocs_per_attempt = 0.0;
+  std::size_t campaign_allocs = 0;
+  {
+    math::Rng deploy_rng(0xAC5 + 500);
+    sim::ScenarioParams params;
+    params.node_count = 500;
+    const core::Deployment deployment = sim::build_scenario("uniform_n", params, deploy_rng);
+    const sim::FieldExperimentConfig config = sim::grass_campaign_config();
+    std::size_t attempts = 0;
+    {
+      math::GridPairEnumerator pairs;
+      pairs.build(deployment.positions.data(), deployment.size(), config.simulate_within_m,
+                  true);
+      attempts = static_cast<std::size_t>(config.rounds) * 2 * pairs.pair_count();
+    }
+    math::Rng rng(7);
+    g_alloc_count.store(0);
+    g_count_allocs = true;
+    const auto data = sim::run_field_experiment(deployment, config, rng);
+    g_count_allocs = false;
+    campaign_allocs = g_alloc_count.load();
+    g_sink = data.samples.size();
+    allocs_per_attempt =
+        static_cast<double>(campaign_allocs) / static_cast<double>(attempts);
+    std::printf(
+        "\nallocation audit, n = 500 grid campaign: %zu allocations / %zu measurement\n"
+        "attempts = %.2f per attempt (measure() itself allocates none -- scratch reuse;\n"
+        "the remainder is the raw MeasurementTable's per-directed-pair storage, the\n"
+        "statistical filter's per-pair scratch, and the reserved aggregation buffers --\n"
+        "all O(successful estimates), none O(n^2))\n",
+        campaign_allocs, attempts, allocs_per_attempt);
+  }
+
+  // --- JSON record ---
+  const auto v = [](double x) { return resloc::eval::format_value(x); };
+  std::string json = "{\n";
+  json += "  \"bench\": \"bench_campaign_scale\",\n";
+  json += "  \"scale_points\": [";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const ScalePoint& p = points[i];
+    json += (i == 0 ? "\n" : ",\n");
+    json += "    {\"n\": " + std::to_string(p.n) +
+            ", \"in_range_pairs\": " + std::to_string(p.in_range_pairs) +
+            ", \"pair_set_delta\": " + std::to_string(p.pair_delta) +
+            ", \"front_end_dense_ms\": " + v(p.front_dense_ms) +
+            ", \"front_end_grid_ms\": " + v(p.front_grid_ms) +
+            ", \"front_end_speedup\": " + v(p.front_speedup) +
+            ", \"e2e_dense_s\": " + v(p.e2e_dense_s) +
+            ", \"e2e_grid_s\": " + v(p.e2e_grid_s) +
+            ", \"e2e_speedup_amdahl_bounded\": " + v(p.e2e_speedup) +
+            ", \"raw_estimates\": " + std::to_string(p.raw_estimates) + "}";
+  }
+  json += "\n  ],\n";
+  json += "  \"wide_area_e2e\": {\"n\": 1000, \"side_m\": 8500, \"in_range_pairs\": " +
+          std::to_string(wide_in_range) +
+          ", \"pair_set_delta\": " + std::to_string(wide_delta) +
+          ", \"dense_s\": " + v(wide_dense_s) + ", \"grid_s\": " + v(wide_grid_s) +
+          ", \"e2e_speedup\": " + v(wide_speedup) + "},\n";
+  json += "  \"e2e_speedup_at_1000\": " + v(wide_speedup) + ",\n";
+  json += "  \"front_end_speedup_at_1000\": " + v(points.back().front_speedup) + ",\n";
+  std::size_t max_delta = wide_delta;
+  for (const ScalePoint& p : points) max_delta = std::max(max_delta, p.pair_delta);
+  json += "  \"max_pair_set_delta\": " + std::to_string(max_delta) + ",\n";
+  json += "  \"campaign_allocs_n500\": " + std::to_string(campaign_allocs) + ",\n";
+  json += "  \"campaign_allocs_per_attempt\": " + v(allocs_per_attempt) + "\n";
+  json += "}\n";
+  if (!resloc::eval::write_text_file(json_path, json)) {
+    std::fprintf(stderr, "error: could not write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("\nbench record: %s\n", json_path.c_str());
+
+  const bool ok =
+      max_delta == 0 && points.back().front_speedup >= 10.0 && wide_speedup >= 10.0;
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FAIL: pair-set delta %zu (need 0), front-end speedup@1000 %.1fx, "
+                 "wide-area e2e speedup@1000 %.1fx (both need >= 10x)\n",
+                 max_delta, points.back().front_speedup, wide_speedup);
+  }
+  return ok ? 0 : 1;
+}

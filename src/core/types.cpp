@@ -16,6 +16,12 @@ std::uint64_t MeasurementSet::key(NodeId i, NodeId j) {
 
 void MeasurementSet::set_node_count(std::size_t n) { node_count_ = std::max(node_count_, n); }
 
+void MeasurementSet::reserve(std::size_t edge_count) {
+  edges_.reserve(edge_count);
+  index_.reserve(edge_count);
+  adjacency_.reserve(node_count_);
+}
+
 void MeasurementSet::add(NodeId i, NodeId j, double distance_m, double weight) {
   if (i == j) return;
   DistanceEdge edge;

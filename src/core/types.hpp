@@ -61,6 +61,12 @@ class MeasurementSet {
   /// count exactly.)
   void set_node_count(std::size_t n);
 
+  /// Pre-sizes the edge storage and index for `edge_count` measurements.
+  /// Bulk producers (the campaign's filtered set, the synthetic generators)
+  /// know their size up front; reserving keeps add() from reallocating the
+  /// edge vector and rehashing the index mid-fill.
+  void reserve(std::size_t edge_count);
+
   /// Neighbors of `id`: every node with a measurement to it, with distances.
   /// Served from a per-node adjacency index in O(degree), in edge insertion
   /// order -- the solvers call this per node, which a linear scan of all

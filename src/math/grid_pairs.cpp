@@ -1,0 +1,106 @@
+#include "math/grid_pairs.hpp"
+
+#include <algorithm>
+
+namespace resloc::math {
+
+namespace {
+
+/// Grid cells are inflated past the cutoff so the cell-index argument
+/// ("|dx| < cell implies indices differ by at most 1") survives floating-
+/// point rounding even for pairs at exactly the cutoff distance (collinear
+/// grids at exact spacing hit this boundary). 1e-6 relative slack dwarfs the
+/// ~1e-10 worst-case rounding of coordinates within the grid's unclamped
+/// +-2^20-cell range while adding no measurable candidates.
+constexpr double kCellInflation = 1.0 + 1e-6;
+
+}  // namespace
+
+void GridPairEnumerator::build(const Vec2* points, std::size_t n, double cutoff_m,
+                               bool include_equal) {
+  n_ = n;
+  pair_offsets_.assign(n + 1, 0);
+  js_.clear();
+  dist_.clear();
+  adj_offsets_.assign(n + 1, 0);
+  adj_ids_.clear();
+  adj_dist_.clear();
+  if (n < 2 || cutoff_m < 0.0 || (cutoff_m == 0.0 && !include_equal)) return;
+
+  xs_.resize(n);
+  ys_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs_[i] = points[i].x;
+    ys_[i] = points[i].y;
+  }
+  // cutoff 0 (coincident pairs only) still needs a positive cell size; any
+  // value works, coincident points always share a cell.
+  const double cell = cutoff_m > 0.0 ? cutoff_m * kCellInflation : 1.0;
+  grid_.rebuild(xs_.data(), ys_.data(), n, cell);
+
+  // Filter the candidate superset with the exact dense-scan predicate: the
+  // same math::distance call, the same < or <= comparison, so the kept set
+  // (and every stored distance) matches the dense scan bit for bit.
+  cand_.clear();
+  cand_dist_.clear();
+  grid_.for_each_candidate_pair([&](std::size_t i, std::size_t j) {
+    const double d = distance(points[i], points[j]);
+    if (include_equal ? d <= cutoff_m : d < cutoff_m) {
+      cand_.push_back((static_cast<std::uint64_t>(i) << 32) | j);
+      cand_dist_.push_back(d);
+    }
+  });
+
+  // Counting sort by i, carrying the distances, then per-bucket insertion
+  // sort by j: restores (i, j)-lexicographic order in O(pairs) -- buckets are
+  // a handful of near-sorted entries at any realistic density.
+  for (const std::uint64_t pair : cand_) ++pair_offsets_[(pair >> 32) + 1];
+  for (std::size_t i = 1; i <= n; ++i) pair_offsets_[i] += pair_offsets_[i - 1];
+  js_.resize(cand_.size());
+  dist_.resize(cand_.size());
+  walk_.assign(pair_offsets_.begin(), pair_offsets_.end());
+  for (std::size_t t = 0; t < cand_.size(); ++t) {
+    const std::size_t slot = walk_[cand_[t] >> 32]++;
+    js_[slot] = static_cast<std::uint32_t>(cand_[t] & 0xffffffffu);
+    dist_[slot] = cand_dist_[t];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t begin = pair_offsets_[i];
+    const std::size_t end = pair_offsets_[i + 1];
+    for (std::size_t a = begin + 1; a < end; ++a) {
+      const std::uint32_t vj = js_[a];
+      const double vd = dist_[a];
+      std::size_t b = a;
+      while (b > begin && js_[b - 1] > vj) {
+        js_[b] = js_[b - 1];
+        dist_[b] = dist_[b - 1];
+        --b;
+      }
+      js_[b] = vj;
+      dist_[b] = vd;
+    }
+  }
+
+  // Symmetric adjacency by a second counting scatter in pair order. Node k's
+  // slice fills with partners i < k first (while the outer index ascends to
+  // k) and partners j > k after (while the outer index equals k), each run
+  // ascending -- so the concatenation is already sorted, no per-node sort.
+  for (std::size_t t = 0; t < js_.size(); ++t) ++adj_offsets_[js_[t] + 1];
+  for (std::size_t i = 0; i < n; ++i) {
+    adj_offsets_[i + 1] += pair_offsets_[i + 1] - pair_offsets_[i];
+  }
+  for (std::size_t i = 1; i <= n; ++i) adj_offsets_[i] += adj_offsets_[i - 1];
+  adj_ids_.resize(2 * js_.size());
+  adj_dist_.resize(2 * js_.size());
+  walk_.assign(adj_offsets_.begin(), adj_offsets_.end());
+  for_each_pair([&](std::size_t i, std::size_t j, double d) {
+    std::size_t slot = walk_[i]++;
+    adj_ids_[slot] = static_cast<std::uint32_t>(j);
+    adj_dist_[slot] = d;
+    slot = walk_[j]++;
+    adj_ids_[slot] = static_cast<std::uint32_t>(i);
+    adj_dist_[slot] = d;
+  });
+}
+
+}  // namespace resloc::math

@@ -120,7 +120,11 @@ struct PipelineRun {
 /// mutable global state (audited for the experiment runner: the only statics
 /// in src/ are factory functions and the mutex-guarded scenario registry).
 /// One pipeline instance may therefore be shared across threads, provided
-/// each concurrent call uses its own Rng.
+/// each concurrent call uses its own Rng. Orthogonally,
+/// `config.campaign.threads` parallelizes *inside* one acoustic measurement
+/// campaign (the (round, source) turns, each on its own counter-indexed RNG
+/// substream); both levels are byte-deterministic, so they compose freely
+/// with the trial-level runner.
 class LocalizationPipeline {
  public:
   LocalizationPipeline() : LocalizationPipeline(PipelineConfig{}) {}

@@ -44,10 +44,17 @@ std::vector<NodeId> MeasurementTable::nodes() const {
 
 std::vector<PairEstimate> MeasurementTable::symmetric_estimates(
     const FilterPolicy& policy, double bidirectional_tolerance_m) const {
-  std::set<std::pair<NodeId, NodeId>> pairs;
-  for (const auto& [key, _] : table_) pairs.insert(ordered(key.first, key.second));
+  // Sorted-unique vector instead of a std::set: same iteration order, one
+  // reserved allocation instead of a node per pair (this runs once per
+  // campaign over every measured pair).
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  pairs.reserve(table_.size());
+  for (const auto& [key, _] : table_) pairs.push_back(ordered(key.first, key.second));
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
 
   std::vector<PairEstimate> out;
+  out.reserve(pairs.size());
   for (const auto& [a, b] : pairs) {
     const auto forward = filtered(a, b, policy);
     const auto backward = filtered(b, a, policy);

@@ -21,6 +21,13 @@
 // holds no mutable global state (audited: the only statics in src/ are
 // factory functions), so one pipeline configuration is safely shared by all
 // workers while each trial draws from its own forked Rng.
+//
+// The same contract recurses one level down: an acoustic trial's measurement
+// campaign shards its (round, source) turns across
+// `PipelineConfig::campaign.threads` workers, each turn on its own
+// counter-indexed substream of the trial's Rng (see sim/field_experiment.hpp)
+// -- byte-identical at any inner thread count, so runner threads and
+// campaign threads compose without touching the aggregates.
 #pragma once
 
 #include <cstdint>

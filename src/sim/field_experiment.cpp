@@ -1,12 +1,53 @@
 #include "sim/field_experiment.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "math/grid_pairs.hpp"
+
 namespace resloc::sim {
 
 using resloc::core::MeasurementSet;
 using resloc::core::NodeId;
 
+namespace {
+
+/// Fork tags separating the campaign's two substream families. Shadowing
+/// substreams are indexed by unordered pair (i * n + j, i < j) and
+/// measurement substreams by turn (round * n + source); the index spaces
+/// overlap, so each family forks from its own tagged base to keep a pair's
+/// shadowing decorrelated from a turn's measurement noise.
+constexpr std::uint64_t kShadowingStreamTag = 0x5AD0;
+constexpr std::uint64_t kMeasurementStreamTag = 0x3EA5;
+
+/// The link's symmetric shadowing draw, recomputed on demand from its own
+/// substream: same value in both directions and every round, O(1) memory.
+double link_shadowing_db(const resloc::math::Rng& shadow_base, NodeId a, NodeId b,
+                         std::size_t n, double stddev_db) {
+  const NodeId lo = std::min(a, b);
+  const NodeId hi = std::max(a, b);
+  resloc::math::Rng stream =
+      shadow_base.fork(static_cast<std::uint64_t>(lo) * n + hi);
+  return stream.gaussian(0.0, stddev_db);
+}
+
+/// One successful estimate, staged per (round, source) turn so threaded and
+/// sequential runs aggregate in the same order.
+struct TurnEstimate {
+  NodeId receiver = 0;
+  double true_distance_m = 0.0;
+  double measured_m = 0.0;
+};
+
+}  // namespace
+
 MeasurementSet FieldExperimentData::to_measurement_set(std::size_t node_count) const {
   MeasurementSet set(node_count);
+  set.reserve(filtered.size());
   for (const auto& pair : filtered) {
     set.add(pair.a, pair.b, pair.distance_m, /*weight=*/1.0);
   }
@@ -38,43 +79,118 @@ FieldExperimentData run_field_experiment(const resloc::core::Deployment& deploym
 
   const resloc::ranging::RangingService service(config.ranging);
 
-  // Symmetric per-link shadowing, drawn once per campaign: the acoustic path
-  // i<->j is the same grass in both directions. Pairs beyond the simulation
-  // range are counted here (once per unordered pair, not per round) so the
-  // campaign's sparseness is attributable.
-  std::vector<double> shadowing(n * n, 0.0);
-  for (NodeId i = 0; i < n; ++i) {
-    for (NodeId j = static_cast<NodeId>(i + 1); j < n; ++j) {
-      const double s = rng.gaussian(0.0, config.link_shadowing_stddev_db);
-      shadowing[i * n + j] = s;
-      shadowing[j * n + i] = s;
-      if (resloc::math::distance(deployment.positions[i], deployment.positions[j]) >
-          config.simulate_within_m) {
-        ++data.skipped_pairs;
+  // Substream bases, forked off the post-unit state: every draw below is
+  // indexed by what it is for (pair, turn), never by when it happens.
+  const resloc::math::Rng shadow_base = rng.fork(kShadowingStreamTag);
+  const resloc::math::Rng measurement_base = rng.fork(kMeasurementStreamTag);
+
+  // Front end: the in-range pair set and the skip count. The grid path finds
+  // both in O(n + in-range pairs); the dense reference path replicates the
+  // seed's O(n^2) structure (full shadowing matrix filled from the same
+  // per-pair substreams, so the two paths stay byte-equal).
+  const std::size_t total_pairs = n < 2 ? 0 : n * (n - 1) / 2;
+  resloc::math::GridPairEnumerator pairs;
+  std::vector<double> shadowing;  // dense path only
+  if (config.dense_pair_scan) {
+    shadowing.assign(n * n, 0.0);
+    for (NodeId i = 0; i < n; ++i) {
+      for (NodeId j = static_cast<NodeId>(i + 1); j < n; ++j) {
+        const double s =
+            link_shadowing_db(shadow_base, i, j, n, config.link_shadowing_stddev_db);
+        shadowing[i * n + j] = s;
+        shadowing[j * n + i] = s;
+        if (resloc::math::distance(deployment.positions[i], deployment.positions[j]) >
+            config.simulate_within_m) {
+          ++data.skipped_pairs;
+        }
       }
     }
+  } else {
+    pairs.build(deployment.positions.data(), n, config.simulate_within_m,
+                /*include_equal=*/true);
+    data.skipped_pairs = total_pairs - pairs.pair_count();
   }
 
-  // One scratch serves every pair: the per-sequence buffers are sized by the
-  // service's window and reused across the whole campaign.
-  resloc::ranging::RangingScratch scratch;
-  for (int round = 0; round < config.rounds; ++round) {
-    for (NodeId source = 0; source < n; ++source) {
+  // Measurement turns: each (round, source) is one task on its own
+  // substream, staging its estimates into its own slot. Thread workers pull
+  // turns from a shared cursor; the slot layout makes aggregation order (and
+  // therefore the output bytes) independent of the schedule.
+  const std::size_t num_turns =
+      config.rounds > 0 ? static_cast<std::size_t>(config.rounds) * n : 0;
+  std::vector<std::vector<TurnEstimate>> turns(num_turns);
+
+  const auto run_turn = [&](std::size_t turn, resloc::ranging::RangingScratch& scratch) {
+    const auto source = static_cast<NodeId>(turn % n);
+    resloc::math::Rng stream = measurement_base.fork(turn);  // == round * n + source
+    std::vector<TurnEstimate>& out = turns[turn];
+    const auto attempt = [&](NodeId receiver, double true_d) {
+      // Shadowing is applied as a reduction of the effective source level.
+      resloc::acoustics::SpeakerUnit speaker = speakers[source];
+      speaker.output_db +=
+          config.dense_pair_scan
+              ? shadowing[source * n + receiver]
+              : link_shadowing_db(shadow_base, source, receiver, n,
+                                  config.link_shadowing_stddev_db);
+      const auto estimate = service.measure(true_d, speaker, mics[receiver], stream, scratch);
+      if (estimate) out.push_back({receiver, true_d, *estimate});
+    };
+    if (config.dense_pair_scan) {
       for (NodeId receiver = 0; receiver < n; ++receiver) {
         if (receiver == source) continue;
         const double true_d =
             resloc::math::distance(deployment.positions[source], deployment.positions[receiver]);
         if (true_d > config.simulate_within_m) continue;
-
-        // Shadowing is applied as a reduction of the effective source level.
-        resloc::acoustics::SpeakerUnit speaker = speakers[source];
-        speaker.output_db += shadowing[source * n + receiver];
-
-        const auto estimate = service.measure(true_d, speaker, mics[receiver], rng, scratch);
-        if (!estimate) continue;
-        data.raw.add(source, receiver, *estimate);
-        data.samples.push_back({source, receiver, true_d, *estimate});
+        attempt(receiver, true_d);
       }
+    } else {
+      pairs.for_each_neighbor(source, [&](std::size_t receiver, double true_d) {
+        attempt(static_cast<NodeId>(receiver), true_d);
+      });
+    }
+  };
+
+  const std::size_t threads = std::min<std::size_t>(
+      config.threads > 1 ? static_cast<std::size_t>(config.threads) : 1,
+      std::max<std::size_t>(num_turns, 1));
+  if (threads <= 1) {
+    // One scratch serves every pair: the per-sequence buffers are sized by
+    // the service's window and reused across the whole campaign.
+    resloc::ranging::RangingScratch scratch;
+    for (std::size_t turn = 0; turn < num_turns; ++turn) run_turn(turn, scratch);
+  } else {
+    std::atomic<std::size_t> cursor{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    const auto worker = [&]() {
+      resloc::ranging::RangingScratch scratch;
+      try {
+        for (;;) {
+          const std::size_t turn = cursor.fetch_add(1, std::memory_order_relaxed);
+          if (turn >= num_turns) return;
+          run_turn(turn, scratch);
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  // Sequential aggregation in turn order: identical to the historical
+  // round -> source -> ascending-receiver insertion order.
+  std::size_t estimate_count = 0;
+  for (const auto& turn : turns) estimate_count += turn.size();
+  data.samples.reserve(estimate_count);
+  for (std::size_t turn = 0; turn < num_turns; ++turn) {
+    const auto source = static_cast<NodeId>(turn % n);
+    for (const TurnEstimate& e : turns[turn]) {
+      data.raw.add(source, e.receiver, e.measured_m);
+      data.samples.push_back({source, e.receiver, e.true_distance_m, e.measured_m});
     }
   }
 

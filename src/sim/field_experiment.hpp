@@ -8,6 +8,19 @@
 // baseline, 46-node grass grid): per-node speaker/microphone units are drawn
 // once, so hardware faults correlate across a node's measurements, exactly
 // the structure the consistency checks exploit.
+//
+// Scaling (the measurement-acquisition front end): in-range pairs are found
+// by spatial-grid culling (math::GridPairEnumerator) in O(n + in-range
+// pairs) instead of the seed's rounds x n x n scan, and every random draw
+// comes from a counter-based substream -- per-link shadowing from
+// fork(i * n + j) of a shadowing base, each (round, source) turn's
+// measurement noise from fork(round * n + source) of a measurement base --
+// so no draw depends on enumeration order or on any other turn's draw
+// count. That makes the campaign embarrassingly parallel: `threads` shards
+// the (round, source) turns across workers with byte-identical output at
+// any thread count. `dense_pair_scan` keeps the seed's O(n^2) structure
+// (full shadowing matrix + all-pairs receiver scan) as the bit-equal
+// reference path for equivalence tests and benches.
 #pragma once
 
 #include <vector>
@@ -40,8 +53,23 @@ struct FieldExperimentConfig {
   /// in both directions. Models the paper's geographically varying
   /// conditions ("taller than average grass absorbing the signal more",
   /// bushes, ground undulation) that silence mid-range links and make real
-  /// field data much sparser than line-of-sight physics predicts.
+  /// field data much sparser than line-of-sight physics predicts. Drawn
+  /// on demand from the pair's own substream -- O(1) memory, identical
+  /// value every time the link is used.
   double link_shadowing_stddev_db = 5.0;
+
+  /// Worker threads for the measurement loop; <= 1 runs sequentially. Each
+  /// (round, source) turn is an independent task on its own RNG substream
+  /// with its own RangingScratch, and results are aggregated in turn order,
+  /// so the campaign output is byte-identical at any thread count.
+  int threads = 1;
+
+  /// Reference path: replicate the seed implementation's O(n^2) structure
+  /// (precomputed n x n shadowing matrix, all-pairs receiver scan per turn)
+  /// instead of the spatial-grid front end. Output is byte-equal to the
+  /// grid path; exists for equivalence tests and as the honest perf
+  /// baseline in bench_campaign_scale.
+  bool dense_pair_scan = false;
 };
 
 /// One raw directional estimate with its ground truth (diagnostics only).
@@ -73,7 +101,11 @@ struct FieldExperimentData {
 };
 
 /// Runs the campaign. Units are sampled per node from `config.units` using
-/// `rng`; the same units serve every pair involving that node.
+/// `rng`; the same units serve every pair involving that node. The unit
+/// draws are the only randomness consumed from `rng` itself -- all campaign
+/// randomness (shadowing, timing jitter, detector noise) comes from
+/// counter-based substreams forked off `rng`'s post-unit state, so the
+/// byte-stream is independent of pair enumeration order and thread count.
 FieldExperimentData run_field_experiment(const resloc::core::Deployment& deployment,
                                          const FieldExperimentConfig& config,
                                          resloc::math::Rng& rng);

@@ -2,33 +2,49 @@
 
 #include <algorithm>
 
+#include "math/grid_pairs.hpp"
+
 namespace resloc::sim {
 
 using resloc::core::Deployment;
 using resloc::core::MeasurementSet;
 using resloc::core::NodeId;
 
+namespace {
+
+/// Shared front end: the in-range pairs (strict `distance < max_range_m`,
+/// every generator's historical comparison) found by spatial-grid culling and
+/// replayed in the dense scan's (i, j) order -- so generators drawing RNG per
+/// pair stay byte-identical to their former O(n^2) loops.
+resloc::math::GridPairEnumerator in_range_pairs(const Deployment& deployment,
+                                                double max_range_m) {
+  resloc::math::GridPairEnumerator pairs;
+  pairs.build(deployment.positions.data(), deployment.size(), max_range_m,
+              /*include_equal=*/false);
+  return pairs;
+}
+
+}  // namespace
+
 MeasurementSet perfect_measurements(const Deployment& deployment, double max_range_m) {
+  const auto pairs = in_range_pairs(deployment, max_range_m);
   MeasurementSet set(deployment.size());
-  for (NodeId i = 0; i < deployment.size(); ++i) {
-    for (NodeId j = i + 1; j < deployment.size(); ++j) {
-      const double d = resloc::math::distance(deployment.positions[i], deployment.positions[j]);
-      if (d < max_range_m) set.add(i, j, d);
-    }
-  }
+  set.reserve(pairs.pair_count());
+  pairs.for_each_pair([&](std::size_t i, std::size_t j, double d) {
+    set.add(static_cast<NodeId>(i), static_cast<NodeId>(j), d);
+  });
   return set;
 }
 
 MeasurementSet gaussian_measurements(const Deployment& deployment,
                                      const GaussianNoiseModel& noise, resloc::math::Rng& rng) {
+  const auto pairs = in_range_pairs(deployment, noise.max_range_m);
   MeasurementSet set(deployment.size());
-  for (NodeId i = 0; i < deployment.size(); ++i) {
-    for (NodeId j = i + 1; j < deployment.size(); ++j) {
-      const double d = resloc::math::distance(deployment.positions[i], deployment.positions[j]);
-      if (d >= noise.max_range_m) continue;
-      set.add(i, j, std::max(0.05, d + rng.gaussian(0.0, noise.sigma_m)));
-    }
-  }
+  set.reserve(pairs.pair_count());
+  pairs.for_each_pair([&](std::size_t i, std::size_t j, double d) {
+    set.add(static_cast<NodeId>(i), static_cast<NodeId>(j),
+            std::max(0.05, d + rng.gaussian(0.0, noise.sigma_m)));
+  });
   return set;
 }
 
@@ -36,20 +52,27 @@ std::size_t augment_with_gaussian(MeasurementSet& measurements, const Deployment
                                   const GaussianNoiseModel& noise, resloc::math::Rng& rng,
                                   std::size_t max_added) {
   measurements.set_node_count(deployment.size());
-  std::vector<std::pair<NodeId, NodeId>> candidates;
-  for (NodeId i = 0; i < deployment.size(); ++i) {
-    for (NodeId j = i + 1; j < deployment.size(); ++j) {
-      if (measurements.has(i, j)) continue;
-      const double d = resloc::math::distance(deployment.positions[i], deployment.positions[j]);
-      if (d < noise.max_range_m) candidates.emplace_back(i, j);
-    }
-  }
+  // The candidate carries its distance: the former implementation computed
+  // math::distance twice per added pair (once to filter, again after the
+  // shuffle). The cached value is bit-identical, so the draws are unchanged.
+  struct Candidate {
+    NodeId i = 0;
+    NodeId j = 0;
+    double distance_m = 0.0;
+  };
+  const auto pairs = in_range_pairs(deployment, noise.max_range_m);
+  std::vector<Candidate> candidates;
+  candidates.reserve(pairs.pair_count());
+  pairs.for_each_pair([&](std::size_t i, std::size_t j, double d) {
+    const auto a = static_cast<NodeId>(i);
+    const auto b = static_cast<NodeId>(j);
+    if (!measurements.has(a, b)) candidates.push_back({a, b, d});
+  });
   rng.shuffle(candidates);
   std::size_t added = 0;
-  for (const auto& [i, j] : candidates) {
+  for (const Candidate& c : candidates) {
     if (max_added > 0 && added >= max_added) break;
-    const double d = resloc::math::distance(deployment.positions[i], deployment.positions[j]);
-    measurements.add(i, j, std::max(0.05, d + rng.gaussian(0.0, noise.sigma_m)));
+    measurements.add(c.i, c.j, std::max(0.05, c.distance_m + rng.gaussian(0.0, noise.sigma_m)));
     ++added;
   }
   return added;
