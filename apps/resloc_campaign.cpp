@@ -24,6 +24,7 @@
 #include "acoustics/units.hpp"
 #include "eval/aggregate.hpp"
 #include "eval/report.hpp"
+#include "ranging/ranging_service.hpp"
 #include "runner/campaign_runner.hpp"
 #include "runner/sweep_spec.hpp"
 #include "sim/scenario_registry.hpp"
@@ -218,6 +219,38 @@ std::map<std::string, NamedSweep> sweep_catalog() {
     catalog["ranging"] = {
         "acoustic detector operating point: chirps k x threshold T (9 cells, 18 trials)", spec};
   }
+  {  // Detector-mode shootout: the same campaign through all three arrival
+     // detectors (hardware tone-detector model, Goertzel software scan, NCC
+     // matched filter), crossed with terrain and the pattern's (k, T)
+     // operating point. The axis where the NCC detector's ~5.5 dB extra
+     // processing gain and first-arrival peak picking show up as campaign
+     // error and placement differences.
+    SweepSpec spec;
+    spec.name = "detectors";
+    spec.base.source = MeasurementSource::kAcousticRanging;
+    spec.trials_per_cell = 2;
+    spec.axes.scenarios = {"grass_grid"};
+    spec.axes.node_counts = {16};
+    spec.axes.anchor_counts = {6};
+    spec.axes.environments = {"grass", "urban"};
+    spec.axes.chirp_counts = {5, 10};
+    spec.axes.detection_thresholds = {2, 4};
+    spec.axes.detectors = {"hardware", "goertzel", "ncc"};
+    catalog["detectors"] = {
+        "detector mode x terrain x chirps k x threshold T (24 cells, 48 trials)", spec};
+  }
+  {  // Three-cell cut of 'detectors' for CI: one cell per detector mode, and
+     // the 1-vs-8-thread byte-identity check runs on exactly these cells.
+    SweepSpec spec;
+    spec.name = "detectors_smoke";
+    spec.base.source = MeasurementSource::kAcousticRanging;
+    spec.trials_per_cell = 1;
+    spec.axes.scenarios = {"grass_grid"};
+    spec.axes.node_counts = {16};
+    spec.axes.anchor_counts = {6};
+    spec.axes.detectors = {"hardware", "goertzel", "ncc"};
+    catalog["detectors_smoke"] = {"one cell per detector mode (3 trials, CI)", spec};
+  }
   return catalog;
 }
 
@@ -331,6 +364,12 @@ int main(int argc, char** argv) {
     std::puts("\nunit models (acoustic axis):");
     for (const auto& name : resloc::acoustics::unit_model_names()) {
       std::printf("  %s\n", name.c_str());
+    }
+    std::puts("\ndetector modes (acoustic axis):");
+    for (const auto mode : {resloc::ranging::DetectorMode::kHardware,
+                            resloc::ranging::DetectorMode::kGoertzel,
+                            resloc::ranging::DetectorMode::kMatchedFilter}) {
+      std::printf("  %s\n", resloc::ranging::detector_mode_name(mode).c_str());
     }
     return 0;
   }

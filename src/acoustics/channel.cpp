@@ -49,6 +49,19 @@ void receive_into(ReceivedWindow& window, const std::vector<Emission>& emissions
       }
     }
 
+    // Fixed reflector (deterministic, consumes no RNG): one echo per chirp at
+    // a constant extra lag. Because the lag never varies, these echoes stay
+    // aligned across accumulation windows -- unlike the random echoes below,
+    // which the pattern's random inter-chirp delays decorrelate.
+    if (env.fixed_echo_lag_s > 0.0) {
+      const double echo_start = e.start_s + travel_s + env.fixed_echo_lag_s;
+      const double echo_end = echo_start + e.duration_s;
+      if (echo_end > window_start_s && echo_start < window_end) {
+        window.signals.push_back(
+            {echo_start, echo_end, direct_snr - env.fixed_echo_attenuation_db});
+      }
+    }
+
     // Echoes: a Poisson-ish number of delayed, attenuated copies. The delay
     // is redrawn per chirp, which is exactly why the paper's random inter-
     // chirp delays decorrelate echo positions across accumulation rounds.

@@ -49,6 +49,21 @@ struct EnvironmentProfile {
   /// Echo level reduction relative to the direct path, in dB.
   double echo_attenuation_db = 12.0;
 
+  /// Deterministic fixed reflector: when positive, every chirp additionally
+  /// produces one echo at exactly this extra delay (no randomness consumed).
+  /// The paper's random inter-chirp delays decorrelate the Poisson echoes
+  /// above across accumulation rounds, but a fixed nearby reflector (a wall,
+  /// Section 3.3's urban courtyard) arrives at the same lag in every window
+  /// and survives accumulation -- the echo the matched-filter detector and
+  /// the robust measurement filters exist to reject. 0 disables (default; all
+  /// built-in profiles leave it off, so campaign byte-streams are unchanged).
+  double fixed_echo_lag_s = 0.0;
+
+  /// Level of the fixed echo relative to the direct path, in dB (positive =
+  /// quieter). Fixtures may set it negative to model a focusing reflector
+  /// louder than a marginal direct arrival.
+  double fixed_echo_attenuation_db = 6.0;
+
   /// Rate (events per second) of transient wide-band noise bursts that raise
   /// the detector's false-positive probability while active.
   double noise_burst_rate_hz = 0.0;

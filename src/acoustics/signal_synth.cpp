@@ -67,6 +67,13 @@ const WaveformSynthesizer::ToneTemplate& WaveformSynthesizer::tone_template(
   return *entry;
 }
 
+ToneTemplateView WaveformSynthesizer::tone_template_view(double sample_rate_hz,
+                                                         double frequency_hz,
+                                                         std::size_t length) {
+  const ToneTemplate& tone = tone_template(sample_rate_hz, frequency_hz, length);
+  return {tone.sin_t.data(), tone.cos_t.data(), tone.sin_t.size()};
+}
+
 void WaveformSynthesizer::synthesize_into(std::vector<double>& wave, const WaveformSpec& spec,
                                           const std::vector<ChirpPlacement>& chirps,
                                           std::size_t num_samples, resloc::math::Rng& rng) {

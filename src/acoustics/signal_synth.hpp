@@ -40,6 +40,16 @@ std::vector<double> synthesize_waveform(const WaveformSpec& spec,
 std::vector<ChirpPlacement> periodic_chirps(std::size_t count, std::size_t first_start,
                                             std::size_t period, std::size_t length);
 
+/// Read-only view of a cached chirp tone template: sin/cos of the tone phase
+/// at absolute sample index i. The matched-filter detector correlates raw
+/// windows against exactly these tables, so detection and synthesis share one
+/// definition of "the chirp" (and one cache).
+struct ToneTemplateView {
+  const double* sin_t = nullptr;  ///< sin(2*pi*f*i/fs), i in [0, length)
+  const double* cos_t = nullptr;
+  std::size_t length = 0;
+};
+
 /// Reusable synthesis engine for per-pair campaign loops.
 ///
 /// The free function above prices every chirp sample at one std::sin call and
@@ -69,6 +79,13 @@ class WaveformSynthesizer {
 
   /// Cached (sample rate, frequency) tone templates currently held.
   std::size_t cached_templates() const { return templates_.size(); }
+
+  /// The (rate, frequency) tone template extended to at least `length`
+  /// samples, as a read-only view. The pointers are invalidated by any later
+  /// call that creates or extends a template (same lifetime rule as
+  /// std::vector iterators); campaign scratches re-fetch the view per window.
+  ToneTemplateView tone_template_view(double sample_rate_hz, double frequency_hz,
+                                      std::size_t length);
 
  private:
   struct ToneTemplate {

@@ -35,6 +35,15 @@ std::optional<double> median(std::vector<double> v) {
   return 0.5 * (lower + upper);
 }
 
+std::optional<double> mad(const std::vector<double>& v) {
+  const std::optional<double> center = median(std::vector<double>(v));
+  if (!center) return std::nullopt;
+  std::vector<double> deviations;
+  deviations.reserve(v.size());
+  for (double x : v) deviations.push_back(std::abs(x - *center));
+  return median(std::move(deviations));
+}
+
 std::optional<double> binned_mode(const std::vector<double>& v, double bin_width) {
   if (v.empty() || bin_width <= 0.0) return std::nullopt;
   std::map<long long, std::size_t> counts;

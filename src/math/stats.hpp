@@ -19,8 +19,19 @@ double mean(const std::vector<double>& v);
 double stddev(const std::vector<double>& v);
 
 /// Median (average of the two central elements for even sizes).
-/// Returns std::nullopt for an empty input.
+/// Small-input convention, pinned by test_measurement_properties:
+///   {}      -> std::nullopt (no data, no estimate)
+///   {a}     -> a
+///   {a, b}  -> (a + b) / 2
 std::optional<double> median(std::vector<double> v);
+
+/// Median absolute deviation: median(|x - median(x)|), unscaled. Multiply by
+/// 1.4826 to estimate sigma under Gaussian noise (callers own the scaling so
+/// the raw robust spread stays available). Small-input convention:
+///   {}      -> std::nullopt
+///   {a}     -> 0 (a lone sample has no spread)
+///   {a, b}  -> |a - b| / 2 (each deviates half the gap from their midpoint)
+std::optional<double> mad(const std::vector<double>& v);
 
 /// Mode of continuous data, computed by binning with the given bin width and
 /// returning the center of the most populated bin. Ties are broken toward the
@@ -29,8 +40,12 @@ std::optional<double> median(std::vector<double> v);
 /// Returns std::nullopt for an empty input or non-positive bin width.
 std::optional<double> binned_mode(const std::vector<double>& v, double bin_width);
 
-/// p-th percentile (0 <= p <= 100) with linear interpolation.
-/// Returns std::nullopt for an empty input.
+/// p-th percentile (0 <= p <= 100) with linear interpolation; p is clamped
+/// into [0, 100]. Small-input convention, pinned by test:
+///   {}      -> std::nullopt
+///   {a}     -> a for every p (a single sample is every percentile)
+///   {a, b}  -> linear interpolation between the two (p=0 -> min, p=100 -> max,
+///              p=50 -> their average, matching median)
 std::optional<double> percentile(std::vector<double> v, double p);
 
 /// Root mean square of the input values.

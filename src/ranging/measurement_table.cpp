@@ -27,10 +27,29 @@ const std::vector<double>& MeasurementTable::directional(NodeId from, NodeId to)
 }
 
 std::optional<double> MeasurementTable::filtered(NodeId from, NodeId to,
-                                                 const FilterPolicy& policy) const {
+                                                 const FilterPolicy& policy,
+                                                 FilterStats* stats) const {
   const auto& raw = directional(from, to);
-  if (raw.empty()) return std::nullopt;
-  return filter_measurements(raw, policy);
+  if (raw.empty()) {
+    if (stats != nullptr) *stats = FilterStats{};
+    return std::nullopt;
+  }
+  return filter_measurements(raw, policy, stats);
+}
+
+MeasurementTable::RobustReport MeasurementTable::robust_report(
+    const FilterPolicy& policy) const {
+  RobustReport report;
+  for (const auto& [key, raw] : table_) {
+    FilterStats stats;
+    filter_measurements(raw, policy, &stats);
+    report.measurements += stats.input;
+    report.vote_rejected += stats.input - stats.after_vote;
+    report.mad_rejected += stats.after_vote - stats.after_mad;
+    ++report.directed_pairs;
+    if (stats.vote_failed) ++report.pairs_without_consensus;
+  }
+  return report;
 }
 
 std::vector<NodeId> MeasurementTable::nodes() const {

@@ -46,8 +46,11 @@ class MeasurementTable {
   /// All raw estimates for the direction from -> to (empty if none).
   const std::vector<double>& directional(NodeId from, NodeId to) const;
 
-  /// Filtered estimate for the direction from -> to.
-  std::optional<double> filtered(NodeId from, NodeId to, const FilterPolicy& policy) const;
+  /// Filtered estimate for the direction from -> to. `stats`, when given,
+  /// receives the robust-rejection diagnostics of the underlying
+  /// filter_measurements call.
+  std::optional<double> filtered(NodeId from, NodeId to, const FilterPolicy& policy,
+                                 FilterStats* stats = nullptr) const;
 
   /// Number of directed pairs with at least one measurement.
   std::size_t directed_pair_count() const { return table_.size(); }
@@ -72,6 +75,20 @@ class MeasurementTable {
   /// (the Figure 7 filter).
   std::vector<PairEstimate> bidirectional_only(const FilterPolicy& policy,
                                                double bidirectional_tolerance_m) const;
+
+  /// Table-wide robust-filter accounting under `policy`: how many raw
+  /// measurements the vote and the MAD stage rejected, and how many directed
+  /// pairs ended with no consensus at all. This is what makes a filtering
+  /// policy diagnosable on a real campaign -- "the vote silenced 40% of the
+  /// 22-30 m links" is visible here, not inferable from the estimate list.
+  struct RobustReport {
+    std::size_t measurements = 0;         ///< raw measurements considered
+    std::size_t vote_rejected = 0;        ///< dropped by the consistency vote
+    std::size_t mad_rejected = 0;         ///< dropped by MAD rejection
+    std::size_t directed_pairs = 0;       ///< directed pairs examined
+    std::size_t pairs_without_consensus = 0;  ///< pairs the vote nulled
+  };
+  RobustReport robust_report(const FilterPolicy& policy) const;
 
  private:
   std::map<std::pair<NodeId, NodeId>, std::vector<double>> table_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 #include <utility>
 
 #include "math/constants.hpp"
@@ -10,6 +11,22 @@
 namespace resloc::ranging {
 
 namespace {
+
+/// Resolves the configured front end, honouring the legacy software_detector
+/// alias, and rejects out-of-range enum values loudly.
+DetectorMode resolve_detector_mode(const RangingConfig& config) {
+  switch (config.detector_mode) {
+    case DetectorMode::kHardware:
+      return config.software_detector ? DetectorMode::kGoertzel : DetectorMode::kHardware;
+    case DetectorMode::kGoertzel:
+    case DetectorMode::kMatchedFilter:
+      return config.detector_mode;
+  }
+  throw std::invalid_argument(
+      "RangingConfig.detector_mode holds unknown DetectorMode value " +
+      std::to_string(static_cast<int>(config.detector_mode)) +
+      " (known: hardware, goertzel, ncc)");
+}
 /// Baseline detection: the raw tone detector's first sustained firing -- one
 /// chirp, counts are 0/1, and a short 3-of-4 debounce stands in for the
 /// hardware detector's own output latching.
@@ -35,10 +52,28 @@ constexpr double kBurstNoiseSigma = 4.0;
 constexpr double kFaultyMicLeakAmplitude = 1.0;
 }  // namespace
 
+DetectorMode detector_mode_by_name(const std::string& name) {
+  if (name == "hardware") return DetectorMode::kHardware;
+  if (name == "goertzel") return DetectorMode::kGoertzel;
+  if (name == "ncc") return DetectorMode::kMatchedFilter;
+  throw std::invalid_argument("unknown detector mode '" + name +
+                              "' (known: hardware, goertzel, ncc)");
+}
+
+std::string detector_mode_name(DetectorMode mode) {
+  switch (mode) {
+    case DetectorMode::kHardware: return "hardware";
+    case DetectorMode::kGoertzel: return "goertzel";
+    case DetectorMode::kMatchedFilter: return "ncc";
+  }
+  return "unknown";
+}
+
 RangingService::RangingService(RangingConfig config)
     : config_(std::move(config)),
       window_samples_(window_samples_for_range(config_.max_window_range_m,
                                                config_.pattern.chirp_duration_s, config_.tdoa)),
+      mode_(resolve_detector_mode(config_)),
       detector_(config_.environment, config_.tdoa.sample_rate_hz) {}
 
 std::optional<double> RangingService::measure(double true_distance_m,
@@ -102,11 +137,17 @@ RangingAttempt RangingService::measure_impl(double true_distance_m,
     acoustics::receive_into(scratch.received, scratch.emissions, window_start_s,
                             window_duration_s, true_distance_m, speaker, mic,
                             config_.environment, config_.channel_jitter, rng);
-    if (config_.software_detector) {
-      software_sample_window(mic, rng, scratch);
-    } else {
-      detector_.sample_window_into(scratch.received, window_samples_, mic, rng,
-                                   scratch.detector, scratch.detector_output);
+    switch (mode_) {
+      case DetectorMode::kGoertzel:
+        software_sample_window(mic, rng, scratch);
+        break;
+      case DetectorMode::kMatchedFilter:
+        ncc_sample_window(mic, rng, scratch);
+        break;
+      case DetectorMode::kHardware:
+        detector_.sample_window_into(scratch.received, window_samples_, mic, rng,
+                                     scratch.detector, scratch.detector_output);
+        break;
     }
     scratch.accumulator.record_chirp(scratch.detector_output);
   }
@@ -137,8 +178,6 @@ void RangingService::software_sample_window(const acoustics::MicUnit& mic,
                                             RangingScratch& scratch) const {
   const std::size_t n = window_samples_;
   const double fs = config_.tdoa.sample_rate_hz;
-  const double dt = 1.0 / fs;
-  const acoustics::ReceivedWindow& window = scratch.received;
 
   // Tone table sin(2*pi*f*i/fs) and the Goertzel detector, cached in the
   // scratch under the (frequency, sample rate, noise scale) they were built
@@ -164,23 +203,7 @@ void RangingService::software_sample_window(const acoustics::MicUnit& mic,
     scratch.goertzel->reset();
   }
 
-  // Rasterize the audible intervals into a per-sample tone envelope (and the
-  // bursts into a noise-floor flag), the same bracketed sweep the hardware
-  // model uses so both paths share the interval->sample cost profile.
-  scratch.amplitude.assign(n, mic.faulty ? kFaultyMicLeakAmplitude : 0.0);
-  for (const acoustics::SignalInterval& s : window.signals) {
-    const double amp = amplitude_from_snr_db(s.snr_db);
-    acoustics::for_each_sample_in_interval(
-        window.start_s, dt, n, s.start_s, s.end_s, [&](std::size_t i) {
-          scratch.amplitude[i] = std::max(scratch.amplitude[i], amp);
-        });
-  }
-  scratch.detector.burst.assign(n, 0);
-  for (const acoustics::NoiseBurst& b : window.bursts) {
-    acoustics::for_each_sample_in_interval(
-        window.start_s, dt, n, b.start_s, b.end_s,
-        [&](std::size_t i) { scratch.detector.burst[i] = 1; });
-  }
+  rasterize_window_envelope(mic, scratch);
 
   // Synthesize and filter in one pass: each sample is the tone envelope on
   // the cached table plus Gaussian noise, and the binary series is the sign
@@ -197,6 +220,65 @@ void RangingService::software_sample_window(const acoustics::MicUnit& mic,
         scratch.amplitude[i] * scratch.tone_table[i] + rng.gaussian(0.0, sigma);
     const bool fired = detector.step(sample) > 0.0;
     if (fired && i >= kGroupDelay) scratch.detector_output[i - kGroupDelay] = true;
+  }
+}
+
+void RangingService::ncc_sample_window(const acoustics::MicUnit& mic, resloc::math::Rng& rng,
+                                       RangingScratch& scratch) const {
+  const std::size_t n = window_samples_;
+  const double fs = config_.tdoa.sample_rate_hz;
+  const double frequency_hz = config_.pattern.tone_frequency_hz;
+
+  rasterize_window_envelope(mic, scratch);
+
+  // The chirp template -- the same cached sin/cos tables the synthesis engine
+  // uses -- extended to cover the whole window, because the NCC prefix sums
+  // are phased by absolute sample index. Fetch once per window; nothing below
+  // touches the synthesizer again, so the view stays valid.
+  const acoustics::ToneTemplateView tpl = scratch.synth.tone_template_view(fs, frequency_hz, n);
+
+  // Synthesize the sampled audio. Same per-sample arithmetic and RNG draw
+  // order as the Goertzel path's fused loop (one gaussian per sample), so
+  // switching detector modes never shifts any other draw in the campaign.
+  scratch.audio.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double sigma = scratch.detector.burst[i] != 0 ? kBurstNoiseSigma : 1.0;
+    scratch.audio[i] = scratch.amplitude[i] * tpl.sin_t[i] + rng.gaussian(0.0, sigma);
+  }
+
+  // Correlate and mark picked onsets. The scanner is cached under its tuning
+  // like the Goertzel detector above; its buffers are reused across pairs.
+  if (!scratch.ncc || scratch.ncc->threshold() != config_.ncc_threshold ||
+      scratch.ncc->peak_plateau() != config_.ncc_peak_plateau) {
+    scratch.ncc.emplace(config_.ncc_threshold, config_.ncc_peak_plateau);
+  }
+  const auto chirp_samples =
+      static_cast<std::size_t>(std::llround(config_.pattern.chirp_duration_s * fs));
+  scratch.ncc->detect_into(scratch.audio.data(), n, chirp_samples, tpl,
+                           scratch.detector_output);
+}
+
+void RangingService::rasterize_window_envelope(const acoustics::MicUnit& mic,
+                                               RangingScratch& scratch) const {
+  // Rasterize the audible intervals into a per-sample tone envelope (and the
+  // bursts into a noise-floor flag), the same bracketed sweep the hardware
+  // model uses so all paths share the interval->sample cost profile.
+  const std::size_t n = window_samples_;
+  const double dt = 1.0 / config_.tdoa.sample_rate_hz;
+  const acoustics::ReceivedWindow& window = scratch.received;
+  scratch.amplitude.assign(n, mic.faulty ? kFaultyMicLeakAmplitude : 0.0);
+  for (const acoustics::SignalInterval& s : window.signals) {
+    const double amp = amplitude_from_snr_db(s.snr_db);
+    acoustics::for_each_sample_in_interval(
+        window.start_s, dt, n, s.start_s, s.end_s, [&](std::size_t i) {
+          scratch.amplitude[i] = std::max(scratch.amplitude[i], amp);
+        });
+  }
+  scratch.detector.burst.assign(n, 0);
+  for (const acoustics::NoiseBurst& b : window.bursts) {
+    acoustics::for_each_sample_in_interval(
+        window.start_s, dt, n, b.start_s, b.end_s,
+        [&](std::size_t i) { scratch.detector.burst[i] = 1; });
   }
 }
 

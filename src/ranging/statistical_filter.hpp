@@ -33,11 +33,55 @@ struct FilterPolicy {
   /// Cap on how many measurements are used (earliest first); the paper's
   /// Figure 4 uses "median filtering of up to five measurements".
   std::size_t max_samples = 0;  ///< 0 = use all
+
+  // --- Robust pre-filters. Both default OFF: the plain median/mode path and
+  // --- every existing golden byte-stream are untouched unless a config opts
+  // --- in. When enabled they run before the median/mode estimate, in the
+  // --- order vote -> MAD (reject what never repeats, then trim the tails of
+  // --- what did).
+
+  /// RANSAC-style consistency vote across the pair's repeated measurements
+  /// (rounds): every measurement is a candidate, votes are the measurements
+  /// within `consistency_tolerance_m` of it, and the candidate with the most
+  /// votes wins (exact ties break toward the smallest value, so the outcome
+  /// is independent of input order). Only the winner's inliers reach the
+  /// estimator. If even the winner has fewer than `consistency_min_votes`
+  /// votes, the pair has no self-consistent distance at all -- echo-dominated
+  /// long links produce exactly this signature, because the pattern's random
+  /// inter-chirp delays decorrelate echo detections across rounds -- and the
+  /// filter returns std::nullopt rather than averaging garbage (the Section
+  /// 3.5 "discard inconsistent" rule applied within one direction).
+  bool consistency_vote = false;
+  double consistency_tolerance_m = 0.5;
+  /// Minimum votes (including the candidate itself) for a usable consensus;
+  /// 1 accepts lone measurements (vote becomes a no-op on singletons).
+  std::size_t consistency_min_votes = 2;
+
+  /// MAD-based outlier rejection: measurements farther than
+  /// `mad_threshold` robust sigmas from the median are dropped, where the
+  /// robust sigma is 1.4826 * MAD floored at `mad_floor_m` (sample
+  /// quantization is ~2 cm, so exact-duplicate lists have MAD 0 and need the
+  /// floor to keep near-duplicates). Applied only to lists of >= 3; with
+  /// fewer there is no meaningful spread estimate.
+  bool mad_reject = false;
+  double mad_threshold = 3.5;
+  double mad_floor_m = 0.05;
+};
+
+/// Where each measurement of one filter_measurements call went -- the
+/// rejection diagnostics the campaign surfaces per detector mode.
+struct FilterStats {
+  std::size_t input = 0;       ///< considered (after the max_samples cut)
+  std::size_t after_vote = 0;  ///< survivors of the consistency vote
+  std::size_t after_mad = 0;   ///< survivors of MAD rejection
+  bool vote_failed = false;    ///< no candidate reached consistency_min_votes
 };
 
 /// Applies the policy to one pair's measurement list. Returns std::nullopt
-/// when the list is empty.
+/// when the list is empty or (with consistency_vote) when no consensus
+/// exists. `stats`, when given, receives the per-stage rejection counts.
 std::optional<double> filter_measurements(std::vector<double> measurements,
-                                          const FilterPolicy& policy);
+                                          const FilterPolicy& policy,
+                                          FilterStats* stats = nullptr);
 
 }  // namespace resloc::ranging

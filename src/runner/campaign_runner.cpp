@@ -11,6 +11,7 @@
 
 #include "acoustics/environment.hpp"
 #include "acoustics/units.hpp"
+#include "ranging/ranging_service.hpp"
 #include "ranging/signal_detection.hpp"
 #include "sim/deployments.hpp"
 #include "sim/scenario_registry.hpp"
@@ -97,6 +98,9 @@ TrialOutcome CampaignRunner::run_trial(const SweepSpec& spec, const TrialSpec& t
       acoustics::EnvironmentProfile& env = config.campaign.ranging.environment;
       env.echo_rate *= trial.interference_scale;
       env.noise_burst_rate_hz *= trial.interference_scale;
+    }
+    if (!trial.detector.empty()) {
+      config.campaign.ranging.detector_mode = ranging::detector_mode_by_name(trial.detector);
     }
 
     const pipeline::LocalizationPipeline pipe(config);

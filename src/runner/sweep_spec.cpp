@@ -21,7 +21,7 @@ std::size_t cell_count(const SweepSpec& spec) {
          a.noise_sigmas.size() * a.anchor_counts.size() * a.drop_rates.size() *
          a.augment.size() * a.environments.size() * a.chirp_counts.size() *
          a.detection_thresholds.size() * a.unit_models.size() *
-         a.interference_scales.size();
+         a.interference_scales.size() * a.detectors.size();
 }
 
 std::vector<TrialSpec> expand(const SweepSpec& spec) {
@@ -41,26 +41,29 @@ std::vector<TrialSpec> expand(const SweepSpec& spec) {
                     for (const int threshold : a.detection_thresholds) {
                       for (const std::string& units : a.unit_models) {
                         for (const double interference : a.interference_scales) {
-                          for (std::size_t rep = 0; rep < spec.trials_per_cell; ++rep) {
-                            TrialSpec t;
-                            t.global_index = trials.size();
-                            t.cell_index = cell;
-                            t.trial_index = rep;
-                            t.scenario = scenario;
-                            t.solver = solver;
-                            t.node_count = nodes;
-                            t.noise_sigma = sigma;
-                            t.anchor_count = anchors;
-                            t.drop_rate = drop;
-                            t.augment = augment;
-                            t.environment = environment;
-                            t.chirp_count = chirps;
-                            t.detection_threshold = threshold;
-                            t.unit_model = units;
-                            t.interference_scale = interference;
-                            trials.push_back(std::move(t));
+                          for (const std::string& detector : a.detectors) {
+                            for (std::size_t rep = 0; rep < spec.trials_per_cell; ++rep) {
+                              TrialSpec t;
+                              t.global_index = trials.size();
+                              t.cell_index = cell;
+                              t.trial_index = rep;
+                              t.scenario = scenario;
+                              t.solver = solver;
+                              t.node_count = nodes;
+                              t.noise_sigma = sigma;
+                              t.anchor_count = anchors;
+                              t.drop_rate = drop;
+                              t.augment = augment;
+                              t.environment = environment;
+                              t.chirp_count = chirps;
+                              t.detection_threshold = threshold;
+                              t.unit_model = units;
+                              t.interference_scale = interference;
+                              t.detector = detector;
+                              trials.push_back(std::move(t));
+                            }
+                            ++cell;
                           }
-                          ++cell;
                         }
                       }
                     }
@@ -103,6 +106,7 @@ std::vector<std::pair<std::string, std::string>> cell_axes(const TrialSpec& tria
       {"unit_model", trial.unit_model.empty() ? "base" : trial.unit_model},
       {"interference_scale",
        trial.interference_scale == 1.0 ? "base" : label(trial.interference_scale)},
+      {"detector", trial.detector.empty() ? "base" : trial.detector},
   };
 }
 

@@ -58,6 +58,10 @@ struct SweepAxes {
   /// Multiplier on the environment's echo rate and noise-burst rate --
   /// one dial for "how hostile is the ambient acoustic scene". 1.0 = as-is.
   std::vector<double> interference_scales = {1.0};
+  /// Detector-mode names (ranging::detector_mode_by_name: "hardware",
+  /// "goertzel", "ncc"); "" keeps the base campaign's detector. An unknown
+  /// name fails the trial loudly at config-application time.
+  std::vector<std::string> detectors = {""};
 };
 
 /// A full sweep: axes over a base pipeline configuration.
@@ -90,6 +94,7 @@ struct TrialSpec {
   int detection_threshold = 0;    ///< T; 0 = base
   std::string unit_model;         ///< "" = base unit-variation model
   double interference_scale = 1.0;
+  std::string detector;           ///< "" = base detector mode
 };
 
 /// Number of cells in the cross product (0 if any axis is empty).
@@ -99,7 +104,7 @@ std::size_t cell_count(const SweepSpec& spec);
 /// (all repetitions of cell 0 first). Deterministic: axis order is fixed as
 /// scenario > solver > node_count > noise_sigma > anchor_count > drop_rate >
 /// augment > environment > chirp_count > detection_threshold > unit_model >
-/// interference_scale, slowest axis first.
+/// interference_scale > detector, slowest axis first.
 std::vector<TrialSpec> expand(const SweepSpec& spec);
 
 /// Human-readable solver name ("multilateration", "lss", "distributed_lss").

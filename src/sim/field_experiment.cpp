@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -59,6 +60,13 @@ std::vector<double> FieldExperimentData::raw_errors() const {
   errors.reserve(samples.size());
   for (const auto& s : samples) errors.push_back(s.measured_m - s.true_distance_m);
   return errors;
+}
+
+double FieldExperimentData::mean_abs_detection_offset_samples() const {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& s : samples) sum += std::abs(s.detection_offset_samples);
+  return sum / static_cast<double>(samples.size());
 }
 
 FieldExperimentData run_field_experiment(const resloc::core::Deployment& deployment,
@@ -186,11 +194,14 @@ FieldExperimentData run_field_experiment(const resloc::core::Deployment& deploym
   std::size_t estimate_count = 0;
   for (const auto& turn : turns) estimate_count += turn.size();
   data.samples.reserve(estimate_count);
+  const double samples_per_meter =
+      config.ranging.tdoa.sample_rate_hz / config.ranging.tdoa.speed_of_sound_mps;
   for (std::size_t turn = 0; turn < num_turns; ++turn) {
     const auto source = static_cast<NodeId>(turn % n);
     for (const TurnEstimate& e : turns[turn]) {
       data.raw.add(source, e.receiver, e.measured_m);
-      data.samples.push_back({source, e.receiver, e.true_distance_m, e.measured_m});
+      data.samples.push_back({source, e.receiver, e.true_distance_m, e.measured_m,
+                              (e.measured_m - e.true_distance_m) * samples_per_meter});
     }
   }
 

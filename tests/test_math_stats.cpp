@@ -76,6 +76,42 @@ TEST(Stats, PercentileInterpolates) {
 
 TEST(Stats, PercentileEmpty) { EXPECT_FALSE(percentile({}, 50.0).has_value()); }
 
+// --- 0/1/2-element pins. The statistical filter and the robust pre-filters
+// --- call these on arbitrarily small per-pair measurement lists, so the
+// --- degenerate conventions are load-bearing, not incidental.
+
+TEST(Stats, MedianDegenerateConventions) {
+  EXPECT_FALSE(median({}).has_value());            // {}     -> nullopt
+  EXPECT_DOUBLE_EQ(*median({7.5}), 7.5);           // {a}    -> a
+  EXPECT_DOUBLE_EQ(*median({4.0, 6.0}), 5.0);      // {a, b} -> (a + b) / 2
+}
+
+TEST(Stats, PercentileDegenerateConventions) {
+  // {a} -> a for EVERY p: a single sample is every percentile.
+  for (const double p : {0.0, 25.0, 50.0, 95.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(*percentile({3.25}, p), 3.25) << "p=" << p;
+  }
+  // {a, b} -> linear interpolation between the two order statistics; p=50
+  // gives their average, matching median({a, b}).
+  EXPECT_DOUBLE_EQ(*percentile({4.0, 6.0}, 50.0), *median({4.0, 6.0}));
+  EXPECT_DOUBLE_EQ(*percentile({4.0, 6.0}, 0.0), 4.0);
+  EXPECT_DOUBLE_EQ(*percentile({4.0, 6.0}, 100.0), 6.0);
+}
+
+TEST(Stats, MadDegenerateConventions) {
+  EXPECT_FALSE(mad({}).has_value());                    // {}     -> nullopt
+  EXPECT_DOUBLE_EQ(*mad({9.0}), 0.0);                   // {a}    -> 0 (no spread)
+  EXPECT_DOUBLE_EQ(*mad({4.0, 6.0}), 1.0);              // {a, b} -> |a - b| / 2
+}
+
+TEST(Stats, MadIsUnscaledAndRobust) {
+  // Unscaled convention: mad({1, 2, 3}) = median({1, 0, 1}) = 1, not
+  // 1.4826 -- callers apply the Gaussian consistency factor themselves.
+  EXPECT_DOUBLE_EQ(*mad({1.0, 2.0, 3.0}), 1.0);
+  // One wild outlier moves the MAD far less than it moves the stddev.
+  EXPECT_NEAR(*mad({10.0, 10.1, 9.9, 10.05, 9.95, 500.0}), 0.075, 1e-12);
+}
+
 TEST(Stats, Rms) {
   EXPECT_DOUBLE_EQ(rms({}), 0.0);
   EXPECT_DOUBLE_EQ(rms({3.0, -4.0}), std::sqrt(12.5));

@@ -102,6 +102,165 @@ TEST(StatisticalFilter, MaxSamplesUsesEarliestMeasurements) {
   EXPECT_NEAR(*out, 10.0, 0.25);
 }
 
+// --- Robust pre-filters (consistency vote + MAD rejection) ---
+
+TEST(RobustFilter, DefaultsLeaveClassicPathUntouched) {
+  // Both robust stages default OFF: a default policy must reproduce the
+  // plain median/mode result bit-for-bit (this is what keeps every existing
+  // golden byte-stream valid).
+  const FilterPolicy plain;
+  EXPECT_FALSE(plain.consistency_vote);
+  EXPECT_FALSE(plain.mad_reject);
+  const std::vector<double> v{10.0, 10.1, 9.9, 30.0};
+  EXPECT_DOUBLE_EQ(*resloc::ranging::filter_measurements(v, plain),
+                   *resloc::ranging::filter_measurements(v, FilterPolicy{}));
+}
+
+TEST(RobustFilter, MadDoesNotFalselyRejectCleanGaussianNoise) {
+  // Paper-default measurement noise is ~N(0, 0.33 m). At threshold 3.5 robust
+  // sigmas, clean draws must very rarely be cut: rejecting honest
+  // measurements is worse than keeping an outlier the median absorbs anyway.
+  // (The 8-sample MAD is a noisy sigma estimate, so the small-sample rate
+  // runs above the asymptotic ~5e-4; ~1.5% observed is the pinned ceiling.)
+  resloc::math::Rng rng(0x51F7);
+  FilterPolicy policy;
+  policy.mad_reject = true;  // defaults: threshold 3.5, floor 0.05 m
+  std::size_t rejected = 0;
+  std::size_t total = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> v;
+    for (int i = 0; i < 8; ++i) v.push_back(10.0 + rng.gaussian(0.0, 0.33));
+    resloc::ranging::FilterStats stats;
+    ASSERT_TRUE(resloc::ranging::filter_measurements(v, policy, &stats).has_value());
+    rejected += stats.input - stats.after_mad;
+    total += stats.input;
+  }
+  EXPECT_LE(rejected, total / 40);  // <= 2.5% of 1600 clean draws (24 observed)
+}
+
+TEST(RobustFilter, MadCutsGrossOutlierTheMedianWouldSurvive) {
+  // Even when the median already resists the outlier, MAD removes it so the
+  // downstream mean/mode never sees it; stats records exactly one cut.
+  FilterPolicy policy;
+  policy.mad_reject = true;
+  resloc::ranging::FilterStats stats;
+  const auto out = resloc::ranging::filter_measurements(
+      {10.0, 10.1, 9.9, 10.05, 9.95, 25.6}, policy, &stats);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_NEAR(*out, 10.0, 0.1);
+  EXPECT_EQ(stats.input, 6u);
+  EXPECT_EQ(stats.after_mad, 5u);
+}
+
+TEST(RobustFilter, VoteIsOrderIndependent) {
+  // The winning cluster (and therefore the estimate) must not depend on the
+  // order measurements arrived in -- threaded campaigns insert in turn order,
+  // and byte-identity across thread counts leans on this.
+  resloc::math::Rng rng(0xD15C);
+  FilterPolicy policy;
+  policy.consistency_vote = true;
+  policy.consistency_tolerance_m = 0.5;
+  policy.consistency_min_votes = 2;
+  std::vector<double> v = {10.0, 10.2, 10.4, 25.8, 25.9, 3.0, 10.1};
+  const auto reference = resloc::ranging::filter_measurements(v, policy);
+  ASSERT_TRUE(reference.has_value());
+  for (int shuffle = 0; shuffle < 30; ++shuffle) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[static_cast<std::size_t>(rng.uniform_int(0, i - 1))]);
+    }
+    const auto out = resloc::ranging::filter_measurements(v, policy);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_DOUBLE_EQ(*out, *reference);
+  }
+}
+
+TEST(RobustFilter, VotePicksTheLargerClusterAndDropsTheRest) {
+  // 4 echo readings ~25.8 m vs 3 true readings ~10 m: the echoes win the
+  // vote (correctly -- the filter can only judge self-consistency), and the
+  // minority is gone from the estimate entirely rather than dragging it.
+  FilterPolicy policy;
+  policy.consistency_vote = true;
+  policy.consistency_tolerance_m = 0.5;
+  resloc::ranging::FilterStats stats;
+  const auto out = resloc::ranging::filter_measurements(
+      {10.0, 25.8, 10.1, 25.9, 25.7, 10.2, 25.85}, policy, &stats);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_NEAR(*out, 25.8, 0.2);
+  EXPECT_EQ(stats.after_vote, 4u);
+  EXPECT_FALSE(stats.vote_failed);
+}
+
+TEST(RobustFilter, VoteWithNoConsensusReturnsNullopt) {
+  // Every reading in its own cluster: no candidate reaches min_votes = 2, so
+  // the pair has no self-consistent distance and must be dropped -- the
+  // mechanism that cuts echo-dominated long links out of a campaign.
+  FilterPolicy policy;
+  policy.consistency_vote = true;
+  policy.consistency_tolerance_m = 0.5;
+  policy.consistency_min_votes = 2;
+  resloc::ranging::FilterStats stats;
+  const auto out =
+      resloc::ranging::filter_measurements({5.0, 12.0, 19.0, 26.0}, policy, &stats);
+  EXPECT_FALSE(out.has_value());
+  EXPECT_TRUE(stats.vote_failed);
+  EXPECT_EQ(stats.after_vote, 0u);
+  // min_votes = 1 accepts lone clusters again (vote degrades to a no-op of
+  // keeping the first singleton).
+  policy.consistency_min_votes = 1;
+  EXPECT_TRUE(
+      resloc::ranging::filter_measurements({5.0, 12.0, 19.0, 26.0}, policy).has_value());
+}
+
+TEST(RobustFilter, VoteTieBreaksTowardSmallestValue) {
+  // Two clusters of equal size: the smaller (earlier-arrival) cluster wins.
+  // Deterministic tie-breaking is part of the order-independence contract,
+  // and preferring the earlier cluster is physically right -- first arrival
+  // is the direct path; later consistent clusters are echoes.
+  FilterPolicy policy;
+  policy.consistency_vote = true;
+  policy.consistency_tolerance_m = 0.5;
+  const auto out =
+      resloc::ranging::filter_measurements({25.8, 10.0, 10.1, 25.9}, policy);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_NEAR(*out, 10.05, 1e-9);
+}
+
+TEST(RobustFilter, StatsTrackEveryStage) {
+  // vote keeps the 4-strong cluster (plus nothing else), then MAD inside the
+  // cluster cuts the straggler at 10.9: input 6 -> after_vote 5 -> after_mad 4.
+  FilterPolicy policy;
+  policy.consistency_vote = true;
+  policy.consistency_tolerance_m = 1.0;
+  policy.mad_reject = true;
+  policy.mad_threshold = 3.5;
+  policy.mad_floor_m = 0.02;
+  resloc::ranging::FilterStats stats;
+  const auto out = resloc::ranging::filter_measurements(
+      {10.0, 10.05, 9.95, 10.02, 10.9, 30.0}, policy, &stats);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(stats.input, 6u);
+  EXPECT_EQ(stats.after_vote, 5u);
+  EXPECT_EQ(stats.after_mad, 4u);
+  EXPECT_NEAR(*out, 10.0, 0.1);
+}
+
+TEST(RobustFilter, RobustReportAggregatesAcrossTable) {
+  MeasurementTable table;
+  // Pair (0,1): consensus cluster + one outlier the vote cuts.
+  for (const double m : {10.0, 10.1, 9.9, 30.0}) table.add(0, 1, m);
+  // Pair (2,3): no two readings agree -> vote nulls the pair.
+  for (const double m : {5.0, 15.0, 25.0}) table.add(2, 3, m);
+  FilterPolicy policy;
+  policy.consistency_vote = true;
+  policy.consistency_tolerance_m = 0.5;
+  policy.consistency_min_votes = 2;
+  const auto report = table.robust_report(policy);
+  EXPECT_EQ(report.measurements, 7u);
+  EXPECT_EQ(report.directed_pairs, 2u);
+  EXPECT_EQ(report.vote_rejected, 4u);  // 1 from (0,1) + all 3 from (2,3)
+  EXPECT_EQ(report.pairs_without_consensus, 1u);
+}
+
 // --- MeasurementTable symmetrization ---
 
 TEST(MeasurementTable, EmptyTableProducesNothing) {
