@@ -24,6 +24,8 @@
 #include "acoustics/units.hpp"
 #include "eval/aggregate.hpp"
 #include "eval/report.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace_export.hpp"
 #include "ranging/ranging_service.hpp"
 #include "runner/campaign_runner.hpp"
 #include "runner/sweep_spec.hpp"
@@ -162,6 +164,15 @@ std::map<std::string, NamedSweep> sweep_catalog() {
     spec.axes.scenarios = {"campus_500", "city_1000"};
     spec.axes.solvers = {Solver::kMultilateration, Solver::kCentralizedLss};
     spec.axes.anchor_counts = {40};
+    // Each scenario runs on its canonical terrain (campus_500 on grass,
+    // city_1000 on urban), and the robust pre-filters ship on at this tier:
+    // urban echo tails at n=1000 are exactly what the consistency vote + MAD
+    // trim exist for. The classic default-off path is untouched -- every
+    // golden-pinned sweep still runs with both filters off
+    // (--robust-filters off restores it here for A/B runs).
+    spec.axes.environments = {"scenario"};
+    spec.base.campaign.filter.consistency_vote = true;
+    spec.base.campaign.filter.mad_reject = true;
     spec.base.multilateration.progressive = true;
     spec.base.lss_init = resloc::pipeline::LssInit::kDvHopSeeded;
     spec.base.lss.restarts.rounds = 3;
@@ -258,7 +269,9 @@ void print_usage() {
   std::puts(
       "usage: resloc_campaign [--sweep NAME] [--threads N] [--seed S]\n"
       "                       [--campaign-threads N] [--trials K]\n"
-      "                       [--json PATH] [--csv PATH] [--list]\n"
+      "                       [--json PATH] [--csv PATH]\n"
+      "                       [--trace PATH] [--metrics PATH]\n"
+      "                       [--robust-filters on|off] [--list]\n"
       "\n"
       "  --sweep NAME   named sweep to run (default: grid)\n"
       "  --threads N    worker threads (default: hardware concurrency)\n"
@@ -271,6 +284,16 @@ void print_usage() {
       "  --trials K     override the sweep's trials-per-cell\n"
       "  --json PATH    write the deterministic JSON aggregate report\n"
       "  --csv PATH     write the deterministic per-cell CSV table\n"
+      "  --trace PATH   record telemetry spans and write a Chrome trace-event\n"
+      "                 JSON file (open in chrome://tracing or Perfetto);\n"
+      "                 never changes the JSON/CSV aggregate bytes\n"
+      "  --metrics PATH write the telemetry metrics report (JSON) and print\n"
+      "                 its summary; counter values are deterministic per\n"
+      "                 seed, durations are wall clock\n"
+      "  --robust-filters on|off\n"
+      "                 force the Section 3.5 robust pre-filters (consistency\n"
+      "                 vote + MAD rejection) on or off, overriding the\n"
+      "                 sweep's default (on for acoustic_scale, off elsewhere)\n"
       "  --list         list available sweeps and scenarios, then exit");
 }
 
@@ -292,10 +315,13 @@ int main(int argc, char** argv) {
   std::string sweep_name = "grid";
   std::string json_path;
   std::string csv_path;
+  std::string trace_path;
+  std::string metrics_path;
   std::uint64_t seed = 1;
   std::uint64_t threads = 0;
   std::uint64_t campaign_threads = 0;
   std::uint64_t trials_override = 0;
+  int robust_filters = -1;  // -1 = sweep default, 0 = off, 1 = on
   bool list = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -318,6 +344,20 @@ int main(int argc, char** argv) {
       json_path = need_value("--json");
     } else if (arg == "--csv") {
       csv_path = need_value("--csv");
+    } else if (arg == "--trace") {
+      trace_path = need_value("--trace");
+    } else if (arg == "--metrics") {
+      metrics_path = need_value("--metrics");
+    } else if (arg == "--robust-filters") {
+      const std::string value = need_value("--robust-filters");
+      if (value == "on") {
+        robust_filters = 1;
+      } else if (value == "off") {
+        robust_filters = 0;
+      } else {
+        std::fprintf(stderr, "error: --robust-filters expects 'on' or 'off'\n");
+        return 2;
+      }
     } else if (arg == "--seed") {
       if (!parse_u64(need_value("--seed"), seed)) {
         std::fprintf(stderr, "error: --seed expects an unsigned integer\n");
@@ -391,6 +431,18 @@ int main(int argc, char** argv) {
     // changes wall time, never report bytes -- CI cmp-enforces that.
     spec.base.campaign.threads = static_cast<int>(campaign_threads);
   }
+  if (robust_filters != -1) {
+    spec.base.campaign.filter.consistency_vote = robust_filters == 1;
+    spec.base.campaign.filter.mad_reject = robust_filters == 1;
+  }
+
+  // Telemetry: counters + stage totals for --metrics, individual span events
+  // only when a trace is requested (they are the memory-heavy part). Enabling
+  // either never changes the aggregate bytes -- CI cmp-enforces that too.
+  if (!trace_path.empty() || !metrics_path.empty()) {
+    resloc::obs::set_enabled(true);
+    resloc::obs::set_capture_spans(!trace_path.empty());
+  }
 
   const CampaignRunner runner(RunnerOptions{static_cast<unsigned>(threads)});
   const CampaignResult result = runner.run(spec);
@@ -411,6 +463,15 @@ int main(int argc, char** argv) {
     for (const auto& t : result.trials) {
       if (!t.ok && reasons.insert(t.error).second) {
         std::fprintf(stderr, "  cell %zu: %s\n", t.cell_index, t.error.c_str());
+        if (!t.error_spans.empty()) {
+          // The failing thread's last telemetry spans (recorded with --trace):
+          // what the trial was executing when it died, oldest first.
+          const std::size_t show = std::min<std::size_t>(t.error_spans.size(), 8);
+          std::fprintf(stderr, "    last %zu spans before the failure:\n", show);
+          for (std::size_t s = t.error_spans.size() - show; s < t.error_spans.size(); ++s) {
+            std::fprintf(stderr, "      %s\n", t.error_spans[s].c_str());
+          }
+        }
         if (reasons.size() >= 5) break;
       }
     }
@@ -436,6 +497,31 @@ int main(int argc, char** argv) {
     std::fputs(table.to_string().c_str(), stdout);
   }
 
+  // Per-sweep stage budget: where the campaign's trial time went, summed over
+  // all trials. Wall clock (the one legitimately non-deterministic per-trial
+  // quantity), so it prints here and never enters the JSON/CSV aggregates.
+  {
+    double measure_s = 0.0, solve_s = 0.0, eval_s = 0.0, trial_s = 0.0;
+    for (const auto& t : result.trials) {
+      measure_s += t.measure_wall_s;
+      solve_s += t.solve_wall_s;
+      eval_s += t.eval_wall_s;
+      trial_s += t.wall_time_s;
+    }
+    const double other_s = std::max(0.0, trial_s - measure_s - solve_s - eval_s);
+    const auto share = [&](double s) {
+      return trial_s > 0.0 ? resloc::eval::fmt(100.0 * s / trial_s) + "%" : std::string("-");
+    };
+    resloc::eval::Table budget({"stage", "total_s", "share"});
+    budget.add_row({"measure", resloc::eval::fmt(measure_s), share(measure_s)});
+    budget.add_row({"solve", resloc::eval::fmt(solve_s), share(solve_s)});
+    budget.add_row({"eval", resloc::eval::fmt(eval_s), share(eval_s)});
+    budget.add_row({"other", resloc::eval::fmt(other_s), share(other_s)});
+    budget.add_row({"trial total", resloc::eval::fmt(trial_s), trial_s > 0.0 ? "100%" : "-"});
+    std::printf("\nstage budget (wall clock, all trials; diagnostic only):\n");
+    std::fputs(budget.to_string().c_str(), stdout);
+  }
+
   bool io_ok = true;
   if (!json_path.empty()) {
     io_ok &= resloc::eval::write_text_file(json_path, result.to_json());
@@ -445,6 +531,33 @@ int main(int argc, char** argv) {
     io_ok &= resloc::eval::write_text_file(csv_path, result.to_csv());
     std::printf("csv report: %s\n", csv_path.c_str());
   }
+
+  if (!trace_path.empty() || !metrics_path.empty()) {
+    const resloc::obs::TelemetrySnapshot snap = resloc::obs::snapshot();
+    if (!trace_path.empty()) {
+      const std::string trace = resloc::obs::to_chrome_trace_json(snap);
+      std::string trace_error;
+      if (!resloc::obs::validate_chrome_trace(trace, &trace_error)) {
+        // A trace that fails its own schema check is a telemetry bug, not a
+        // campaign failure -- fail loudly so CI catches it.
+        std::fprintf(stderr, "error: emitted trace failed validation: %s\n",
+                     trace_error.c_str());
+        return 1;
+      }
+      io_ok &= resloc::eval::write_text_file(trace_path, trace);
+      std::size_t events = 0;
+      for (const auto& t : snap.threads) events += t.events.size();
+      std::printf("trace (%zu spans%s): %s\n", events,
+                  snap.dropped_spans > 0 ? ", some dropped past the per-thread cap" : "",
+                  trace_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+      io_ok &= resloc::eval::write_text_file(metrics_path, resloc::obs::metrics_report_json(snap));
+      std::printf("metrics report: %s\n", metrics_path.c_str());
+    }
+    std::printf("\n%s", resloc::obs::metrics_report_text(snap).c_str());
+  }
+
   if (!io_ok) {
     std::fprintf(stderr, "error: failed to write one or more report files\n");
     return 1;

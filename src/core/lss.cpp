@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "math/spatial_hash_grid.hpp"
+#include "obs/telemetry.hpp"
 
 namespace resloc::core {
 
@@ -71,6 +72,11 @@ class StressObjective {
         grad[n_ + i] = 0.0;
       }
     }
+    // Edge-term vs constraint-stage split per evaluation: the two tallies
+    // ROADMAP items 1 and 5 read to see where an LSS solve's work goes.
+    obs::add(obs::Counter::kLssEdgeTerms, measurements_.edges().size());
+    obs::add(obs::Counter::kLssConstraintPairs, active_pairs_);
+    active_pairs_ = 0;
     return error;
   }
 
@@ -86,6 +92,7 @@ class StressObjective {
     const double d_sq = dx * dx + dy * dy;
     if (d_sq >= dmin_sq) return error;       // constraint satisfied
     if (measurements_.has(i, j)) return error;  // measured pairs are exempt
+    ++active_pairs_;
     const double dcomp = std::max(std::sqrt(d_sq), kMinSeparation);
     const double residual = dcomp - dmin;
     error += wd * residual * residual;
@@ -173,6 +180,7 @@ class StressObjective {
   const LssOptions options_;
   const std::vector<bool> fixed_;
   const std::size_t n_;
+  mutable std::uint64_t active_pairs_ = 0;  // active constraint pairs this evaluation
   resloc::math::SpatialHashGrid grid_;   // rebuilt every evaluation, alloc-free
   std::vector<std::uint64_t> pairs_;     // candidate pairs, packed (i << 32) | j
   std::vector<std::uint32_t> offsets_;   // counting-sort scratch (per-i slice bounds)
@@ -181,6 +189,7 @@ class StressObjective {
 
 LssResult run(const MeasurementSet& measurements, std::vector<double> initial,
               std::vector<bool> fixed, const LssOptions& options, resloc::math::Rng& rng) {
+  RESLOC_SPAN("solver/lss_solve");
   const std::size_t n = measurements.node_count();
   StressObjective objective(measurements, options, std::move(fixed));
   const auto gd_result = resloc::math::minimize_with_restarts(objective, std::move(initial),

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "math/rng.hpp"
+#include "obs/telemetry.hpp"
 
 namespace resloc::math {
 
@@ -71,6 +72,7 @@ inline double inf_norm(const std::vector<double>& v) {
 template <typename ObjectiveFn>
 GradientDescentResult minimize(ObjectiveFn&& objective, std::vector<double> x0,
                                const GradientDescentOptions& options) {
+  RESLOC_SPAN("solver/minimize");
   GradientDescentResult result;
   const std::size_t n = x0.size();
   std::vector<double> grad(n, 0.0);
@@ -78,6 +80,7 @@ GradientDescentResult minimize(ObjectiveFn&& objective, std::vector<double> x0,
   std::vector<double> candidate_grad(n, 0.0);
 
   double error = objective(x0, grad);
+  obs::add(obs::Counter::kGdEvaluations);
   double step = options.step_size;
 
   result.x = x0;
@@ -93,6 +96,7 @@ GradientDescentResult minimize(ObjectiveFn&& objective, std::vector<double> x0,
 
     for (std::size_t i = 0; i < n; ++i) candidate[i] = result.x[i] - step * grad[i];
     double candidate_error = objective(candidate, candidate_grad);
+    obs::add(obs::Counter::kGdEvaluations);
 
     if (options.adaptive) {
       // Backtrack: shrink the step until the error stops increasing (or the
@@ -102,8 +106,10 @@ GradientDescentResult minimize(ObjectiveFn&& objective, std::vector<double> x0,
         step *= 0.5;
         for (std::size_t i = 0; i < n; ++i) candidate[i] = result.x[i] - step * grad[i];
         candidate_error = objective(candidate, candidate_grad);
+        obs::add(obs::Counter::kGdEvaluations);
         ++backtracks;
       }
+      obs::add(obs::Counter::kGdBacktracks, static_cast<std::uint64_t>(backtracks));
       if (candidate_error > error) {
         result.converged = true;  // no descent direction progress possible
         break;
@@ -124,6 +130,7 @@ GradientDescentResult minimize(ObjectiveFn&& objective, std::vector<double> x0,
       break;
     }
   }
+  obs::add(obs::Counter::kGdIterations, static_cast<std::uint64_t>(result.iterations));
   return result;
 }
 
@@ -148,6 +155,7 @@ GradientDescentResult minimize_with_restarts(ObjectiveFn&& objective, std::vecto
   std::vector<double> seed = std::move(x0);
 
   for (int round = 0; round < restart.rounds; ++round) {
+    obs::add(obs::Counter::kGdRestartRounds);
     GradientDescentResult r = minimize(objective, seed, options);
     if (!have_best || r.error < best.error) {
       // Keep the longest trace view: append this round's trace to the tail.

@@ -1,8 +1,22 @@
 #include "pipeline/localization_pipeline.hpp"
 
+#include <chrono>
 #include <utility>
 
+#include "obs/telemetry.hpp"
+
 namespace resloc::pipeline {
+
+namespace {
+
+/// Seconds elapsed since `start`, for the always-on stage walls. Plain
+/// std::chrono rather than the obs clock: the stage budget must work without
+/// telemetry enabled, and it is diagnostic-only (never in golden output).
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
 
 LocalizationPipeline::LocalizationPipeline(PipelineConfig config) : config_(std::move(config)) {}
 
@@ -11,6 +25,7 @@ core::MeasurementSet LocalizationPipeline::measure(const core::Deployment& deplo
                                                    std::size_t* augmented_edges,
                                                    std::size_t* skipped_pairs,
                                                    double* mean_abs_detection_offset) const {
+  RESLOC_SPAN("pipeline/measure");
   core::MeasurementSet measurements;
   std::size_t skipped = 0;
   double offset_samples = 0.0;
@@ -51,9 +66,12 @@ PipelineRun LocalizationPipeline::run(const core::Deployment& deployment,
   std::size_t augmented = 0;
   std::size_t skipped = 0;
   double offset_samples = 0.0;
+  const auto measure_start = std::chrono::steady_clock::now();
   core::MeasurementSet measurements =
       measure(deployment, rng, &augmented, &skipped, &offset_samples);
+  const double measure_wall_s = seconds_since(measure_start);
   PipelineRun out = run_on_measurements(deployment, std::move(measurements), rng);
+  out.measure_wall_s = measure_wall_s;
   out.augmented_edges = augmented;
   out.skipped_pairs = skipped;
   out.mean_abs_detection_offset_samples = offset_samples;
@@ -70,64 +88,74 @@ PipelineRun LocalizationPipeline::run_on_measurements(const core::Deployment& de
   bool align_for_eval = true;
   std::vector<core::NodeId> exclude;
 
-  switch (config_.solver) {
-    case Solver::kMultilateration: {
-      out.estimates = core::localize_by_multilateration(deployment, out.measurements,
-                                                        config_.multilateration, rng);
-      // Multilateration output is absolute; anchors know their position and
-      // are not scored (the paper reports non-anchor error only).
-      align_for_eval = false;
-      exclude = deployment.anchors;
-      break;
-    }
-    case Solver::kCentralizedLss: {
-      core::LssResult lss;
-      if (config_.lss_init == LssInit::kDvHopSeeded && !deployment.anchors.empty()) {
-        // Coarse absolute positions by DV-hop, refined by one LSS descent.
-        // Nodes DV-hop could not place (unreachable from every anchor) fall
-        // back to a random draw in the init box.
-        const core::DvHopResult dv =
-            core::localize_dv_hop(deployment, out.measurements, config_.dv_hop, rng);
-        std::vector<resloc::math::Vec2> initial(deployment.size());
+  const auto solve_start = std::chrono::steady_clock::now();
+  {
+    RESLOC_SPAN("pipeline/solve");
+    switch (config_.solver) {
+      case Solver::kMultilateration: {
+        out.estimates = core::localize_by_multilateration(deployment, out.measurements,
+                                                          config_.multilateration, rng);
+        // Multilateration output is absolute; anchors know their position and
+        // are not scored (the paper reports non-anchor error only).
+        align_for_eval = false;
+        exclude = deployment.anchors;
+        break;
+      }
+      case Solver::kCentralizedLss: {
+        core::LssResult lss;
+        if (config_.lss_init == LssInit::kDvHopSeeded && !deployment.anchors.empty()) {
+          // Coarse absolute positions by DV-hop, refined by one LSS descent.
+          // Nodes DV-hop could not place (unreachable from every anchor) fall
+          // back to a random draw in the init box.
+          const core::DvHopResult dv =
+              core::localize_dv_hop(deployment, out.measurements, config_.dv_hop, rng);
+          std::vector<resloc::math::Vec2> initial(deployment.size());
+          for (std::size_t id = 0; id < deployment.size(); ++id) {
+            if (id < dv.result.positions.size() && dv.result.positions[id].has_value()) {
+              initial[id] = *dv.result.positions[id];
+            } else {
+              initial[id] = resloc::math::Vec2{rng.uniform(0.0, config_.lss.init_box_m),
+                                               rng.uniform(0.0, config_.lss.init_box_m)};
+            }
+          }
+          lss = core::localize_lss_from(out.measurements, std::move(initial), config_.lss, rng);
+        } else {
+          lss = core::localize_lss(out.measurements, config_.lss, rng);
+        }
+        out.stress = lss.stress;
+        std::vector<bool> has_measurement(deployment.size(), false);
+        for (const core::DistanceEdge& edge : out.measurements.edges()) {
+          if (edge.i < has_measurement.size()) has_measurement[edge.i] = true;
+          if (edge.j < has_measurement.size()) has_measurement[edge.j] = true;
+        }
+        out.estimates.positions.assign(deployment.size(), std::nullopt);
         for (std::size_t id = 0; id < deployment.size(); ++id) {
-          if (id < dv.result.positions.size() && dv.result.positions[id].has_value()) {
-            initial[id] = *dv.result.positions[id];
-          } else {
-            initial[id] = resloc::math::Vec2{rng.uniform(0.0, config_.lss.init_box_m),
-                                             rng.uniform(0.0, config_.lss.init_box_m)};
+          // Nodes with no measurement are only touched by the soft constraint;
+          // their coordinates are meaningless, so report them unlocalized.
+          if (id < lss.positions.size() && has_measurement[id]) {
+            out.estimates.positions[id] = lss.positions[id];
           }
         }
-        lss = core::localize_lss_from(out.measurements, std::move(initial), config_.lss, rng);
-      } else {
-        lss = core::localize_lss(out.measurements, config_.lss, rng);
+        break;
       }
-      out.stress = lss.stress;
-      std::vector<bool> has_measurement(deployment.size(), false);
-      for (const core::DistanceEdge& edge : out.measurements.edges()) {
-        if (edge.i < has_measurement.size()) has_measurement[edge.i] = true;
-        if (edge.j < has_measurement.size()) has_measurement[edge.j] = true;
+      case Solver::kDistributedLss: {
+        const core::DistributedLssResult dist = core::localize_distributed(
+            out.measurements, config_.distributed_root, config_.distributed, rng);
+        out.estimates = dist.result;
+        out.estimates.positions.resize(deployment.size());
+        break;
       }
-      out.estimates.positions.assign(deployment.size(), std::nullopt);
-      for (std::size_t id = 0; id < deployment.size(); ++id) {
-        // Nodes with no measurement are only touched by the soft constraint;
-        // their coordinates are meaningless, so report them unlocalized.
-        if (id < lss.positions.size() && has_measurement[id]) {
-          out.estimates.positions[id] = lss.positions[id];
-        }
-      }
-      break;
-    }
-    case Solver::kDistributedLss: {
-      const core::DistributedLssResult dist = core::localize_distributed(
-          out.measurements, config_.distributed_root, config_.distributed, rng);
-      out.estimates = dist.result;
-      out.estimates.positions.resize(deployment.size());
-      break;
     }
   }
+  out.solve_wall_s = seconds_since(solve_start);
 
-  out.report = eval::evaluate_localization(out.estimates.positions, deployment.positions,
-                                           align_for_eval, exclude);
+  const auto eval_start = std::chrono::steady_clock::now();
+  {
+    RESLOC_SPAN("pipeline/eval");
+    out.report = eval::evaluate_localization(out.estimates.positions, deployment.positions,
+                                             align_for_eval, exclude);
+  }
+  out.eval_wall_s = seconds_since(eval_start);
   return out;
 }
 

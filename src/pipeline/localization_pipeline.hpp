@@ -117,6 +117,15 @@ struct PipelineRun {
   /// aligned first (Section 4.2.2); multilateration is compared directly and
   /// anchors are excluded from its scoring.
   eval::LocalizationReport report;
+
+  /// Wall-clock stage budget, seconds: measurement acquisition (campaign or
+  /// synthetic + augmentation), solver, and evaluation/alignment. Always
+  /// populated, telemetry enabled or not. NON-DETERMINISTIC -- wall time
+  /// varies run to run, so these never enter golden aggregates; they feed the
+  /// diagnostic stage-budget table and the failure reports only.
+  double measure_wall_s = 0.0;
+  double solve_wall_s = 0.0;
+  double eval_wall_s = 0.0;
 };
 
 /// Facade wiring RangingService -> Multilateration / Lss / DistributedLss.

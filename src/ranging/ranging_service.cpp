@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "math/constants.hpp"
+#include "obs/telemetry.hpp"
 #include "ranging/dft_detector.hpp"
 
 namespace resloc::ranging {
@@ -107,6 +108,12 @@ RangingAttempt RangingService::measure_impl(double true_distance_m,
                                             const acoustics::MicUnit& mic,
                                             resloc::math::Rng& rng, RangingScratch& scratch,
                                             bool want_accumulated) const {
+  // The per-pair acoustic-physics budget (~110 us/measure at survey density)
+  // is the wall ROADMAP item 1 targets; the sub-stage spans below attribute
+  // it to synthesis / channel / detection so the block-DSP refactor starts
+  // from a measured stage budget instead of a hypothesis.
+  RESLOC_SPAN("ranging/measure");
+  obs::add(obs::Counter::kMeasureCalls);
   RangingAttempt attempt;
 
   acoustics::ChirpPattern pattern = config_.pattern;
@@ -134,9 +141,13 @@ RangingAttempt RangingService::measure_impl(double true_distance_m,
         calibration_bias_s + rng.gaussian(0.0, config_.tdoa.sync_jitter_s);
     const double window_start_s = emission.start_s - sync_error_s;
 
-    acoustics::receive_into(scratch.received, scratch.emissions, window_start_s,
-                            window_duration_s, true_distance_m, speaker, mic,
-                            config_.environment, config_.channel_jitter, rng);
+    obs::add(obs::Counter::kChirpWindows);
+    {
+      RESLOC_SPAN("ranging/channel");
+      acoustics::receive_into(scratch.received, scratch.emissions, window_start_s,
+                              window_duration_s, true_distance_m, speaker, mic,
+                              config_.environment, config_.channel_jitter, rng);
+    }
     switch (mode_) {
       case DetectorMode::kGoertzel:
         software_sample_window(mic, rng, scratch);
@@ -144,17 +155,25 @@ RangingAttempt RangingService::measure_impl(double true_distance_m,
       case DetectorMode::kMatchedFilter:
         ncc_sample_window(mic, rng, scratch);
         break;
-      case DetectorMode::kHardware:
+      case DetectorMode::kHardware: {
+        RESLOC_SPAN("ranging/detection");
         detector_.sample_window_into(scratch.received, window_samples_, mic, rng,
                                      scratch.detector, scratch.detector_output);
         break;
+      }
     }
-    scratch.accumulator.record_chirp(scratch.detector_output);
+    {
+      // Folding the chirp's binary output into the 4-bit accumulator is an
+      // O(window) pass per chirp -- detection-stage work, same as the scan.
+      RESLOC_SPAN("ranging/detection");
+      scratch.accumulator.record_chirp(scratch.detector_output);
+    }
   }
 
   const DetectionParams detection = config_.baseline ? kBaselineDetection : config_.detection;
   const std::vector<std::uint8_t>& samples = scratch.accumulator.samples();
 
+  RESLOC_SPAN("ranging/detection");
   int index = detect_signal(samples, detection, 0);
   if (!config_.baseline && config_.verify_pattern) {
     while (index >= 0 &&
@@ -168,6 +187,7 @@ RangingAttempt RangingService::measure_impl(double true_distance_m,
   if (index >= 0) {
     attempt.detection_index = index;
     attempt.distance_m = distance_from_detection_index(index, config_.tdoa);
+    obs::add(obs::Counter::kMeasureDetections);
   }
   if (want_accumulated) attempt.accumulated = samples;
   return attempt;
@@ -211,6 +231,10 @@ void RangingService::software_sample_window(const acoustics::MicUnit& mic,
   // samples (i - kWindow, i], so it is shifted left by the half-window group
   // delay to line onsets up with the hardware detector's per-sample
   // convention; the residual latency is within the actuation-jitter budget.
+  // Synthesis and filtering are one fused per-sample loop on this path (the
+  // RNG draw order pins them together), so the span charges the pair to the
+  // detection stage -- the Goertzel recurrence dominates the loop body.
+  RESLOC_SPAN("ranging/detection");
   GoertzelToneDetector& detector = *scratch.goertzel;
   constexpr std::size_t kGroupDelay = SlidingDftFilter::kWindow / 2;
   scratch.detector_output.assign(n, false);
@@ -240,10 +264,13 @@ void RangingService::ncc_sample_window(const acoustics::MicUnit& mic, resloc::ma
   // Synthesize the sampled audio. Same per-sample arithmetic and RNG draw
   // order as the Goertzel path's fused loop (one gaussian per sample), so
   // switching detector modes never shifts any other draw in the campaign.
-  scratch.audio.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const double sigma = scratch.detector.burst[i] != 0 ? kBurstNoiseSigma : 1.0;
-    scratch.audio[i] = scratch.amplitude[i] * tpl.sin_t[i] + rng.gaussian(0.0, sigma);
+  {
+    RESLOC_SPAN("ranging/synthesis");
+    scratch.audio.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double sigma = scratch.detector.burst[i] != 0 ? kBurstNoiseSigma : 1.0;
+      scratch.audio[i] = scratch.amplitude[i] * tpl.sin_t[i] + rng.gaussian(0.0, sigma);
+    }
   }
 
   // Correlate and mark picked onsets. The scanner is cached under its tuning
@@ -254,8 +281,11 @@ void RangingService::ncc_sample_window(const acoustics::MicUnit& mic, resloc::ma
   }
   const auto chirp_samples =
       static_cast<std::size_t>(std::llround(config_.pattern.chirp_duration_s * fs));
-  scratch.ncc->detect_into(scratch.audio.data(), n, chirp_samples, tpl,
-                           scratch.detector_output);
+  {
+    RESLOC_SPAN("ranging/detection");
+    scratch.ncc->detect_into(scratch.audio.data(), n, chirp_samples, tpl,
+                             scratch.detector_output);
+  }
 }
 
 void RangingService::rasterize_window_envelope(const acoustics::MicUnit& mic,
@@ -263,6 +293,7 @@ void RangingService::rasterize_window_envelope(const acoustics::MicUnit& mic,
   // Rasterize the audible intervals into a per-sample tone envelope (and the
   // bursts into a noise-floor flag), the same bracketed sweep the hardware
   // model uses so all paths share the interval->sample cost profile.
+  RESLOC_SPAN("ranging/synthesis");
   const std::size_t n = window_samples_;
   const double dt = 1.0 / config_.tdoa.sample_rate_hz;
   const acoustics::ReceivedWindow& window = scratch.received;

@@ -11,6 +11,7 @@
 
 #include "acoustics/environment.hpp"
 #include "acoustics/units.hpp"
+#include "obs/telemetry.hpp"
 #include "ranging/ranging_service.hpp"
 #include "ranging/signal_detection.hpp"
 #include "sim/deployments.hpp"
@@ -30,6 +31,8 @@ std::string CampaignResult::to_csv() const { return resloc::eval::campaign_to_cs
 CampaignRunner::CampaignRunner(RunnerOptions options) : options_(options) {}
 
 TrialOutcome CampaignRunner::run_trial(const SweepSpec& spec, const TrialSpec& trial) {
+  RESLOC_SPAN("runner/trial");
+  obs::add(obs::Counter::kRunnerTrials);
   TrialOutcome outcome;
   outcome.cell_index = trial.cell_index;
   outcome.trial_index = trial.trial_index;
@@ -117,12 +120,21 @@ TrialOutcome CampaignRunner::run_trial(const SweepSpec& spec, const TrialSpec& t
     outcome.augmented_edges = run.augmented_edges;
     outcome.measured_edges = run.measurements.edge_count() - run.augmented_edges;
     outcome.skipped_pairs = run.skipped_pairs;
+    outcome.measure_wall_s = run.measure_wall_s;
+    outcome.solve_wall_s = run.solve_wall_s;
+    outcome.eval_wall_s = run.eval_wall_s;
   } catch (const std::exception& e) {
     outcome.ok = false;  // unknown scenario, fixed-size mismatch, ...
     outcome.error = e.what();
+    obs::add(obs::Counter::kRunnerTrialFailures);
+    // The failing thread's recent spans locate *where* in the pipeline the
+    // trial died (e.g. deep in ranging vs. at solver setup) without a rerun.
+    outcome.error_spans = obs::recent_spans_this_thread(32);
   } catch (...) {
     outcome.ok = false;
     outcome.error = "unknown error";
+    obs::add(obs::Counter::kRunnerTrialFailures);
+    outcome.error_spans = obs::recent_spans_this_thread(32);
   }
   outcome.wall_time_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "math/grid_pairs.hpp"
+#include "obs/telemetry.hpp"
 
 namespace resloc::sim {
 
@@ -128,6 +129,7 @@ FieldExperimentData run_field_experiment(const resloc::core::Deployment& deploym
   std::vector<std::vector<TurnEstimate>> turns(num_turns);
 
   const auto run_turn = [&](std::size_t turn, resloc::ranging::RangingScratch& scratch) {
+    obs::add(obs::Counter::kCampaignTurns);
     const auto source = static_cast<NodeId>(turn % n);
     resloc::math::Rng stream = measurement_base.fork(turn);  // == round * n + source
     std::vector<TurnEstimate>& out = turns[turn];
@@ -205,8 +207,12 @@ FieldExperimentData run_field_experiment(const resloc::core::Deployment& deploym
     }
   }
 
-  data.filtered =
-      data.raw.symmetric_estimates(config.filter, config.bidirectional_tolerance_m);
+  {
+    RESLOC_SPAN("ranging/filtering");
+    data.filtered =
+        data.raw.symmetric_estimates(config.filter, config.bidirectional_tolerance_m);
+  }
+  obs::add(obs::Counter::kFilteredPairs, data.filtered.size());
   return data;
 }
 

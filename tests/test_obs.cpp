@@ -1,0 +1,307 @@
+// The obs layer's contracts, locked by test:
+//   - spans measure exactly what the injected clock says (ManualClock);
+//   - counter totals and span counts are byte-identical at 1 vs 8 runner
+//     threads (the determinism contract for everything in the metrics
+//     report's "deterministic" block);
+//   - enabling telemetry does not change a single byte of the campaign's
+//     JSON/CSV aggregates;
+//   - the Chrome trace export is valid and properly nested across 8 threads,
+//     and the validator actually rejects malformed traces;
+//   - the per-thread span cap drops loudly (dropped_spans), never silently;
+//   - recent_spans_this_thread returns the failure-report context in order.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+#include "obs/trace_export.hpp"
+#include "runner/campaign_runner.hpp"
+#include "runner/sweep_spec.hpp"
+
+namespace {
+
+using resloc::pipeline::MeasurementSource;
+using resloc::pipeline::Solver;
+using resloc::runner::CampaignResult;
+using resloc::runner::CampaignRunner;
+using resloc::runner::RunnerOptions;
+using resloc::runner::SweepSpec;
+
+namespace obs = resloc::obs;
+
+/// Telemetry is process-global; every test starts from a clean, disabled
+/// state and leaves it that way.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_enabled(false);
+    obs::set_capture_spans(false);
+    obs::set_clock_source(nullptr);
+    obs::set_max_spans_per_thread(1 << 20);
+    obs::reset();
+  }
+  void TearDown() override { SetUp(); }
+};
+
+/// Deterministic test clock: each now_ns() call advances by a fixed step.
+class ManualClock : public obs::ClockSource {
+ public:
+  explicit ManualClock(std::uint64_t step_ns) : step_ns_(step_ns) {}
+  std::uint64_t now_ns() const override { return now_ns_ += step_ns_; }
+
+ private:
+  std::uint64_t step_ns_;
+  mutable std::uint64_t now_ns_ = 0;
+};
+
+/// A small acoustic sweep exercising ranging, solver, and runner spans in
+/// well under a second. LSS on one cell covers the gradient-descent and
+/// constraint counters; the acoustic source covers the measure sub-stages.
+SweepSpec obs_sweep() {
+  SweepSpec spec;
+  spec.name = "obs_unit";
+  spec.seed = 42;
+  spec.trials_per_cell = 2;
+  spec.base.source = MeasurementSource::kAcousticRanging;
+  spec.axes.scenarios = {"grass_grid"};
+  spec.axes.solvers = {Solver::kMultilateration, Solver::kCentralizedLss};
+  spec.axes.node_counts = {16};
+  spec.axes.anchor_counts = {6};
+  return spec;
+}
+
+/// Name -> count map of every recorded stage, the schedule-independent view
+/// of a snapshot (SpanIds depend on intern order, names do not).
+std::map<std::string, std::uint64_t> stage_counts(const obs::TelemetrySnapshot& snap) {
+  std::map<std::string, std::uint64_t> out;
+  for (std::size_t id = 0; id < snap.stage_totals.size(); ++id) {
+    if (snap.stage_totals[id].count > 0) {
+      out[snap.span_names[id]] = snap.stage_totals[id].count;
+    }
+  }
+  return out;
+}
+
+TEST_F(ObsTest, DisabledRecordsNothing) {
+  {
+    RESLOC_SPAN("test/never");
+    obs::add(obs::Counter::kMeasureCalls, 5);
+  }
+  const obs::TelemetrySnapshot snap = obs::snapshot();
+  EXPECT_EQ(snap.counter(obs::Counter::kMeasureCalls), 0u);
+  EXPECT_EQ(snap.stage_count("test/never"), 0u);
+}
+
+TEST_F(ObsTest, ManualClockYieldsExactDurations) {
+  const ManualClock clock(/*step_ns=*/100);
+  obs::set_clock_source(&clock);
+  obs::set_enabled(true);
+  obs::set_capture_spans(true);
+
+  {
+    RESLOC_SPAN("test/outer");  // start at t=100
+    {
+      RESLOC_SPAN("test/inner");  // start at t=200, end at t=300
+    }
+  }  // outer ends at t=400
+
+  const obs::TelemetrySnapshot snap = obs::snapshot();
+  EXPECT_EQ(snap.stage_count("test/outer"), 1u);
+  EXPECT_EQ(snap.stage_count("test/inner"), 1u);
+  EXPECT_EQ(snap.stage_total_ns("test/outer"), 300u);  // 400 - 100
+  EXPECT_EQ(snap.stage_total_ns("test/inner"), 100u);  // 300 - 200
+
+  // The retained events carry the raw timestamps for the trace export.
+  // (Thread buffers registered by other tests' pools survive reset(), so
+  // locate this thread's buffer by its contents.)
+  const obs::ThreadSnapshot* mine = nullptr;
+  for (const obs::ThreadSnapshot& t : snap.threads) {
+    if (!t.events.empty()) {
+      ASSERT_EQ(mine, nullptr) << "only the calling thread should have recorded";
+      mine = &t;
+    }
+  }
+  ASSERT_NE(mine, nullptr);
+  ASSERT_EQ(mine->events.size(), 2u);
+  // Events are recorded at scope exit: inner closes before outer.
+  EXPECT_EQ(mine->events[0].start_ns, 200u);
+  EXPECT_EQ(mine->events[0].end_ns, 300u);
+  EXPECT_EQ(mine->events[1].start_ns, 100u);
+  EXPECT_EQ(mine->events[1].end_ns, 400u);
+}
+
+TEST_F(ObsTest, CountersAddOnlyWhenEnabled) {
+  obs::set_enabled(true);
+  obs::add(obs::Counter::kGdEvaluations, 3);
+  obs::add(obs::Counter::kGdEvaluations);
+  const obs::TelemetrySnapshot snap = obs::snapshot();
+  EXPECT_EQ(snap.counter(obs::Counter::kGdEvaluations), 4u);
+  // Every counter has a stable, non-empty report key.
+  for (std::uint32_t c = 0; c < static_cast<std::uint32_t>(obs::Counter::kCount); ++c) {
+    EXPECT_STRNE(obs::counter_name(static_cast<obs::Counter>(c)), "");
+  }
+}
+
+TEST_F(ObsTest, CounterTotalsIdenticalAtOneVsEightThreads) {
+  obs::set_enabled(true);
+  const CampaignRunner single(RunnerOptions{1});
+  const CampaignResult r1 = single.run(obs_sweep());
+  const obs::TelemetrySnapshot snap1 = obs::snapshot();
+  obs::reset();
+
+  const CampaignRunner eight(RunnerOptions{8});
+  const CampaignResult r8 = eight.run(obs_sweep());
+  const obs::TelemetrySnapshot snap8 = obs::snapshot();
+
+  // The deterministic block: every counter and every stage count matches
+  // exactly -- integer sums over per-thread cells are order-independent.
+  ASSERT_EQ(snap1.counters.size(), snap8.counters.size());
+  for (std::size_t c = 0; c < snap1.counters.size(); ++c) {
+    EXPECT_EQ(snap1.counters[c], snap8.counters[c])
+        << "counter " << obs::counter_name(static_cast<obs::Counter>(c));
+  }
+  EXPECT_EQ(stage_counts(snap1), stage_counts(snap8));
+
+  // Sanity: the sweep actually exercised all three instrumented layers.
+  EXPECT_GT(snap1.counter(obs::Counter::kMeasureCalls), 0u);
+  EXPECT_GT(snap1.counter(obs::Counter::kGdEvaluations), 0u);
+  EXPECT_GT(snap1.counter(obs::Counter::kLssEdgeTerms), 0u);
+  EXPECT_EQ(snap1.counter(obs::Counter::kRunnerTrials), r1.trials.size());
+  EXPECT_GT(snap1.stage_count("ranging/measure"), 0u);
+  EXPECT_GT(snap1.stage_count("solver/lss_solve"), 0u);
+  EXPECT_GT(snap1.stage_count("pipeline/solve"), 0u);
+
+  // And the aggregates themselves are byte-identical, threads and telemetry
+  // notwithstanding.
+  EXPECT_EQ(r1.to_json(), r8.to_json());
+  EXPECT_EQ(r1.to_csv(), r8.to_csv());
+}
+
+TEST_F(ObsTest, TelemetryNeverChangesAggregateBytes) {
+  const CampaignRunner runner(RunnerOptions{2});
+  const CampaignResult off = runner.run(obs_sweep());
+
+  obs::set_enabled(true);
+  obs::set_capture_spans(true);
+  const CampaignResult on = runner.run(obs_sweep());
+
+  EXPECT_EQ(off.to_json(), on.to_json());
+  EXPECT_EQ(off.to_csv(), on.to_csv());
+}
+
+TEST_F(ObsTest, TraceAcrossEightThreadsIsValidAndNested) {
+  obs::set_enabled(true);
+  obs::set_capture_spans(true);
+  const CampaignRunner runner(RunnerOptions{8});
+  (void)runner.run(obs_sweep());
+
+  const obs::TelemetrySnapshot snap = obs::snapshot();
+  EXPECT_EQ(snap.dropped_spans, 0u);
+
+  const std::string trace = obs::to_chrome_trace_json(snap);
+  std::string error;
+  EXPECT_TRUE(obs::validate_chrome_trace(trace, &error)) << error;
+
+  // The metrics report renders from the same snapshot without tripping over
+  // multi-thread data.
+  const std::string metrics = obs::metrics_report_json(snap);
+  EXPECT_NE(metrics.find("\"deterministic\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"non_deterministic\""), std::string::npos);
+  EXPECT_NE(metrics.find("ranging/measure"), std::string::npos);
+  EXPECT_FALSE(obs::metrics_report_text(snap).empty());
+}
+
+TEST_F(ObsTest, ValidatorRejectsMalformedTraces) {
+  std::string error;
+  EXPECT_FALSE(obs::validate_chrome_trace("not json", &error));
+  EXPECT_FALSE(obs::validate_chrome_trace("{}", &error));
+  EXPECT_FALSE(obs::validate_chrome_trace(R"({"traceEvents": 3})", &error));
+  // Wrong phase.
+  EXPECT_FALSE(obs::validate_chrome_trace(
+      R"({"traceEvents": [{"name": "a", "cat": "resloc", "ph": "B", "pid": 1, "tid": 0, "ts": 0, "dur": 1}]})",
+      &error));
+  // Partial overlap on one thread: [0, 10) vs [5, 15) neither nests nor is
+  // disjoint -- a corrupted trace.
+  EXPECT_FALSE(obs::validate_chrome_trace(
+      R"({"traceEvents": [)"
+      R"({"name": "a", "cat": "resloc", "ph": "X", "pid": 1, "tid": 0, "ts": 0, "dur": 10},)"
+      R"({"name": "b", "cat": "resloc", "ph": "X", "pid": 1, "tid": 0, "ts": 5, "dur": 10}]})",
+      &error));
+  // The same pair on *different* threads is fine.
+  EXPECT_TRUE(obs::validate_chrome_trace(
+      R"({"traceEvents": [)"
+      R"({"name": "a", "cat": "resloc", "ph": "X", "pid": 1, "tid": 0, "ts": 0, "dur": 10},)"
+      R"({"name": "b", "cat": "resloc", "ph": "X", "pid": 1, "tid": 1, "ts": 5, "dur": 10}]})",
+      &error))
+      << error;
+}
+
+TEST_F(ObsTest, SpanCapDropsLoudly) {
+  const ManualClock clock(1);
+  obs::set_clock_source(&clock);
+  obs::set_enabled(true);
+  obs::set_capture_spans(true);
+  obs::set_max_spans_per_thread(4);
+  for (int i = 0; i < 10; ++i) {
+    RESLOC_SPAN("test/capped");
+  }
+  const obs::TelemetrySnapshot snap = obs::snapshot();
+  // Stage totals keep counting past the cap; only retained events stop.
+  EXPECT_EQ(snap.stage_count("test/capped"), 10u);
+  std::size_t retained = 0;
+  for (const obs::ThreadSnapshot& t : snap.threads) retained += t.events.size();
+  EXPECT_EQ(retained, 4u);
+  EXPECT_EQ(snap.dropped_spans, 6u);
+  // The capped trace still exports and validates.
+  std::string error;
+  EXPECT_TRUE(obs::validate_chrome_trace(obs::to_chrome_trace_json(snap), &error)) << error;
+}
+
+TEST_F(ObsTest, RecentSpansGiveFailureContextInOrder) {
+  const ManualClock clock(10);
+  obs::set_clock_source(&clock);
+  obs::set_enabled(true);
+  obs::set_capture_spans(true);
+  {
+    RESLOC_SPAN("test/first");
+  }
+  {
+    RESLOC_SPAN("test/second");
+  }
+  {
+    RESLOC_SPAN("test/third");
+  }
+  const std::vector<std::string> recent = obs::recent_spans_this_thread(2);
+  ASSERT_EQ(recent.size(), 2u);
+  // Oldest first among the last two completed spans.
+  EXPECT_NE(recent[0].find("test/second"), std::string::npos);
+  EXPECT_NE(recent[1].find("test/third"), std::string::npos);
+
+  // Without span capture there is no buffer to report from.
+  obs::reset();
+  obs::set_capture_spans(false);
+  {
+    RESLOC_SPAN("test/uncaptured");
+  }
+  EXPECT_TRUE(obs::recent_spans_this_thread(8).empty());
+}
+
+TEST_F(ObsTest, ResetClearsDataButKeepsInterning) {
+  obs::set_enabled(true);
+  obs::set_capture_spans(true);
+  const obs::SpanId id = obs::intern_span("test/reset");
+  EXPECT_EQ(obs::intern_span("test/reset"), id);
+  {
+    RESLOC_SPAN("test/reset");
+  }
+  obs::add(obs::Counter::kChirpWindows, 7);
+  obs::reset();
+  const obs::TelemetrySnapshot snap = obs::snapshot();
+  EXPECT_EQ(snap.stage_count("test/reset"), 0u);
+  EXPECT_EQ(snap.counter(obs::Counter::kChirpWindows), 0u);
+  EXPECT_EQ(obs::intern_span("test/reset"), id);
+}
+
+}  // namespace
