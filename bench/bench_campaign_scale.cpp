@@ -36,8 +36,10 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <new>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -183,6 +185,66 @@ ScalePoint run_scale_point(std::size_t n) {
   return point;
 }
 
+/// Byte-identity of two campaign outputs: every raw estimate, bitwise.
+bool samples_identical(const sim::FieldExperimentData& a, const sim::FieldExperimentData& b) {
+  if (a.samples.size() != b.samples.size()) return false;
+  if (a.filtered.size() != b.filtered.size()) return false;
+  if (a.skipped_pairs != b.skipped_pairs) return false;
+  return a.samples.empty() ||
+         std::memcmp(a.samples.data(), b.samples.data(),
+                     a.samples.size() * sizeof(sim::RangingSample)) == 0;
+}
+
+struct SurveyDspPoint {
+  double scalar_1t_s = 0.0;   ///< per-sample reference path, 1 thread
+  double block_1t_s = 0.0;    ///< block kernels, 1 thread
+  double block_mt_s = 0.0;    ///< block kernels, `threads` workers
+  std::size_t threads = 1;
+  double speedup_1t = 0.0;
+  double speedup_mt = 0.0;
+  bool byte_identical = false;
+};
+
+/// The tentpole gate: survey-density e2e at n = 1000 (grass campaign, grid
+/// front end), per-sample reference vs the block-DSP measure path. The
+/// threaded block run is the headline -- the acoustic physics used to be a
+/// serial per-sample wall; block kernels cut the single-thread cost and the
+/// turn-sharded campaign takes the rest, with byte-identical output.
+SurveyDspPoint run_survey_dsp_point() {
+  SurveyDspPoint point;
+  math::Rng deploy_rng(0xAC5 + 1000);
+  sim::ScenarioParams params;
+  params.node_count = 1000;
+  const core::Deployment deployment = sim::build_scenario("uniform_n", params, deploy_rng);
+  const sim::FieldExperimentConfig base = sim::grass_campaign_config();
+
+  const auto run = [&](bool block_dsp, int threads) {
+    sim::FieldExperimentConfig c = base;
+    c.ranging.block_dsp = block_dsp;
+    c.threads = threads;
+    math::Rng rng(7);
+    return sim::run_field_experiment(deployment, c, rng);
+  };
+  const auto time_run = [&](bool block_dsp, int threads, int reps) {
+    return best_of(reps, [&] { g_sink = run(block_dsp, threads).samples.size(); });
+  };
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  point.threads = std::min<std::size_t>(8, hw > 0 ? hw : 1);
+
+  point.scalar_1t_s = time_run(false, 1, 2);
+  point.block_1t_s = time_run(true, 1, 2);
+  point.block_mt_s = time_run(true, static_cast<int>(point.threads), 2);
+  point.speedup_1t = point.scalar_1t_s / point.block_1t_s;
+  point.speedup_mt = point.scalar_1t_s / point.block_mt_s;
+
+  const sim::FieldExperimentData ref = run(false, 1);
+  const sim::FieldExperimentData blk = run(true, 1);
+  const sim::FieldExperimentData blk_mt = run(true, static_cast<int>(point.threads));
+  point.byte_identical = samples_identical(ref, blk) && samples_identical(ref, blk_mt);
+  return point;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -278,6 +340,20 @@ int main(int argc, char** argv) {
         campaign_allocs, attempts, allocs_per_attempt);
   }
 
+  // --- Block-DSP survey gate: the per-sample measure path vs the block
+  // kernel path at full survey density, end to end. Byte-identity across all
+  // three runs is part of the gate -- the speedup only counts if the output
+  // is the same output. ---
+  const SurveyDspPoint dsp = run_survey_dsp_point();
+  std::printf(
+      "\nblock-DSP survey e2e, n = 1000 grass campaign (grid front end)\n"
+      "  per-sample reference, 1 thread   %8.2f s\n"
+      "  block kernels,        1 thread   %8.2f s  (%.2fx)\n"
+      "  block kernels,      %2zu threads   %8.2f s  (%.2fx; gate >= 5x)\n"
+      "  byte-identical samples across all three: %s\n",
+      dsp.scalar_1t_s, dsp.block_1t_s, dsp.speedup_1t, dsp.threads, dsp.block_mt_s,
+      dsp.speedup_mt, dsp.byte_identical ? "yes" : "NO");
+
   // --- JSON record ---
   const auto v = [](double x) { return resloc::eval::format_value(x); };
   std::string json = "{\n";
@@ -303,6 +379,13 @@ int main(int argc, char** argv) {
           ", \"pair_set_delta\": " + std::to_string(wide_delta) +
           ", \"dense_s\": " + v(wide_dense_s) + ", \"grid_s\": " + v(wide_grid_s) +
           ", \"e2e_speedup\": " + v(wide_speedup) + "},\n";
+  json += "  \"survey_dsp\": {\"n\": 1000, \"scalar_1t_s\": " + v(dsp.scalar_1t_s) +
+          ", \"block_1t_s\": " + v(dsp.block_1t_s) +
+          ", \"block_threads\": " + std::to_string(dsp.threads) +
+          ", \"block_mt_s\": " + v(dsp.block_mt_s) +
+          ", \"speedup_block_1t\": " + v(dsp.speedup_1t) +
+          ", \"speedup_block_mt\": " + v(dsp.speedup_mt) +
+          ", \"byte_identical\": " + (dsp.byte_identical ? "true" : "false") + "},\n";
   json += "  \"e2e_speedup_at_1000\": " + v(wide_speedup) + ",\n";
   json += "  \"front_end_speedup_at_1000\": " + v(points.back().front_speedup) + ",\n";
   std::size_t max_delta = wide_delta;
@@ -317,13 +400,15 @@ int main(int argc, char** argv) {
   }
   std::printf("\nbench record: %s\n", json_path.c_str());
 
-  const bool ok =
-      max_delta == 0 && points.back().front_speedup >= 10.0 && wide_speedup >= 10.0;
+  const bool ok = max_delta == 0 && points.back().front_speedup >= 10.0 &&
+                  wide_speedup >= 10.0 && dsp.byte_identical && dsp.speedup_mt >= 5.0;
   if (!ok) {
     std::fprintf(stderr,
                  "FAIL: pair-set delta %zu (need 0), front-end speedup@1000 %.1fx, "
-                 "wide-area e2e speedup@1000 %.1fx (both need >= 10x)\n",
-                 max_delta, points.back().front_speedup, wide_speedup);
+                 "wide-area e2e speedup@1000 %.1fx (both need >= 10x), block-DSP "
+                 "survey speedup %.2fx (need >= 5x), byte_identical=%s\n",
+                 max_delta, points.back().front_speedup, wide_speedup, dsp.speedup_mt,
+                 dsp.byte_identical ? "true" : "false");
   }
   return ok ? 0 : 1;
 }

@@ -18,9 +18,12 @@
 //
 // Results are printed and written as JSON (default BENCH_obs.json, or
 // argv[1]); a failed gate exits nonzero so CI blocks on regressions.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "eval/aggregate.hpp"
@@ -39,18 +42,6 @@ double now_s() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
-}
-
-template <typename Fn>
-double best_of(int reps, Fn&& fn) {
-  double best = 1e300;
-  for (int r = 0; r < reps; ++r) {
-    const double t0 = now_s();
-    fn();
-    const double dt = now_s() - t0;
-    if (dt < best) best = dt;
-  }
-  return best;
 }
 
 volatile std::size_t g_sink = 0;
@@ -86,20 +77,45 @@ int main(int argc, char** argv) {
     const auto data = sim::run_field_experiment(deployment, config, rng);
     g_sink = data.samples.size();
   };
-  const int reps = 5;
+  const int reps = 9;
 
-  // --- End to end, telemetry fully off (the default production mode). ---
-  obs::set_enabled(false);
-  obs::set_capture_spans(false);
-  const double disabled_s = best_of(reps, campaign);
-
-  // --- End to end, telemetry fully on (counters + stage totals + retained
-  // span events, i.e. the --trace configuration). ---
-  obs::set_enabled(true);
-  obs::set_capture_spans(true);
+  // --- End to end: telemetry off (the default production mode) vs fully on
+  // (counters + stage totals + retained span events, the --trace
+  // configuration). The overhead is a few percent of a ~0.2 s campaign, well
+  // under this box's wall-clock noise, so the estimator has to be noise-
+  // hardened: off and on samples are interleaved (each timing 2 campaigns),
+  // the off/on ratio is formed per adjacent pair -- machine-speed drift
+  // hits both halves of a pair alike and cancels in the ratio, where timing
+  // all-off-then-all-on lets a drift between the phases masquerade as
+  // overhead several times the real effect -- and the reported overhead is
+  // the median ratio across pairs, immune to a co-tenant burst landing in
+  // any one sample.
+  constexpr int kCampaignsPerSample = 2;
+  obs::set_enabled(true);  // pays the one-time TSC calibration before timing
   obs::reset();
-  const double enabled_s = best_of(reps, campaign);
-  const double enabled_overhead = enabled_s / disabled_s - 1.0;
+  std::vector<double> disabled_samples, enabled_samples, ratios;
+  for (int r = 0; r < reps; ++r) {
+    obs::set_enabled(false);
+    obs::set_capture_spans(false);
+    double t0 = now_s();
+    for (int c = 0; c < kCampaignsPerSample; ++c) campaign();
+    const double d = now_s() - t0;
+    obs::set_enabled(true);
+    obs::set_capture_spans(true);
+    t0 = now_s();
+    for (int c = 0; c < kCampaignsPerSample; ++c) campaign();
+    const double e = now_s() - t0;
+    disabled_samples.push_back(d);
+    enabled_samples.push_back(e);
+    ratios.push_back(e / d);
+  }
+  const auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  const double disabled_s = median(disabled_samples) / kCampaignsPerSample;
+  const double enabled_s = median(enabled_samples) / kCampaignsPerSample;
+  const double enabled_overhead = median(ratios) - 1.0;
 
   // The instrumented runs also yield the stage attribution and the
   // spans-per-measure ratio (counts are deterministic; reps just repeat them).
@@ -107,7 +123,12 @@ int main(int argc, char** argv) {
   obs::set_enabled(false);
   obs::set_capture_spans(false);
 
+  // The counters accumulated over every enabled campaign; per-measure stage
+  // averages divide by the accumulated count, per-campaign quantities by the
+  // per-run count.
   const std::uint64_t measures = snap.counter(obs::Counter::kMeasureCalls);
+  const std::uint64_t measures_per_run =
+      measures / static_cast<std::uint64_t>(reps * kCampaignsPerSample);
   std::uint64_t total_spans = 0;
   for (const obs::StageTotal& t : snap.stage_totals) total_spans += t.count;
   const double spans_per_measure =
@@ -117,22 +138,38 @@ int main(int argc, char** argv) {
                                 ? static_cast<double>(snap.stage_total_ns("ranging/measure")) /
                                       static_cast<double>(measures)
                                 : 0.0;
-  const double attributed_ns = static_cast<double>(snap.stage_total_ns("ranging/synthesis") +
-                                                   snap.stage_total_ns("ranging/channel") +
-                                                   snap.stage_total_ns("ranging/detection"));
+  // Attribution is computed over whatever kernel-stage spans the measure path
+  // actually emitted: every "ranging/*" span except the enclosing
+  // "ranging/measure" itself and the campaign-level "ranging/filtering". The
+  // block-DSP and per-sample paths emit different stage taxonomies
+  // (ranging/synthesis/noise vs ranging/synthesis, ...); enumerating the
+  // snapshot keeps the >= 90% claim honest for both without hardcoding either.
+  std::vector<std::pair<std::string, std::uint64_t>> stages;
+  std::uint64_t attributed_total_ns = 0;
+  for (std::size_t i = 0; i < snap.span_names.size() && i < snap.stage_totals.size(); ++i) {
+    const std::string& name = snap.span_names[i];
+    if (name.rfind("ranging/", 0) != 0) continue;
+    if (name == "ranging/measure" || name == "ranging/filtering") continue;
+    if (snap.stage_totals[i].count == 0) continue;
+    stages.emplace_back(name, snap.stage_totals[i].total_ns);
+    attributed_total_ns += snap.stage_totals[i].total_ns;
+  }
+  std::sort(stages.begin(), stages.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
   const double attribution =
       snap.stage_total_ns("ranging/measure") > 0
-          ? attributed_ns / static_cast<double>(snap.stage_total_ns("ranging/measure"))
+          ? static_cast<double>(attributed_total_ns) /
+                static_cast<double>(snap.stage_total_ns("ranging/measure"))
           : 0.0;
 
   // --- Disabled per-span cost, then the campaign-level bound. ---
   const double span_ns = disabled_span_cost_ns(20'000'000);
   const double disabled_measure_ns =
-      static_cast<double>(disabled_s) * 1e9 / static_cast<double>(measures);
+      static_cast<double>(disabled_s) * 1e9 / static_cast<double>(measures_per_run);
   const double disabled_overhead = span_ns * spans_per_measure / disabled_measure_ns;
 
   std::printf("survey-density fixture: uniform_n n = 100, grass campaign, %llu measures\n\n",
-              static_cast<unsigned long long>(measures));
+              static_cast<unsigned long long>(measures_per_run));
   std::printf("  e2e telemetry off        %8.3f s\n", disabled_s);
   std::printf("  e2e telemetry on         %8.3f s   (spans + counters + trace events)\n",
               enabled_s);
@@ -141,18 +178,13 @@ int main(int argc, char** argv) {
               spans_per_measure);
   std::printf("  disabled overhead bound  %8.3f %%  (gate < 2%%)\n", disabled_overhead * 100.0);
   std::printf("  measure stage budget     %8.2f us/measure (enabled run)\n", measure_ns / 1e3);
-  std::printf("  stage attribution        %8.1f %%  of measure time in named sub-stages\n"
-              "                                       (synthesis/channel/detection; gate >= 90%%)\n",
+  std::printf("  stage attribution        %8.1f %%  of measure time in named kernel stages\n"
+              "                                       (all ranging/* sub-spans; gate >= 90%%)\n",
               attribution * 100.0);
-  std::printf("    synthesis  %8.2f us/measure\n",
-              static_cast<double>(snap.stage_total_ns("ranging/synthesis")) /
-                  static_cast<double>(measures) / 1e3);
-  std::printf("    channel    %8.2f us/measure\n",
-              static_cast<double>(snap.stage_total_ns("ranging/channel")) /
-                  static_cast<double>(measures) / 1e3);
-  std::printf("    detection  %8.2f us/measure\n",
-              static_cast<double>(snap.stage_total_ns("ranging/detection")) /
-                  static_cast<double>(measures) / 1e3);
+  for (const auto& [name, total_ns] : stages) {
+    std::printf("    %-30s %8.2f us/measure\n", name.c_str(),
+                static_cast<double>(total_ns) / static_cast<double>(measures) / 1e3);
+  }
 
   // --- JSON record ---
   const auto v = [](double x) { return resloc::eval::format_value(x); };
@@ -160,7 +192,7 @@ int main(int argc, char** argv) {
   json += "  \"bench\": \"bench_obs_overhead\",\n";
   json += "  \"fixture\": {\"scenario\": \"uniform_n\", \"n\": 100, "
           "\"campaign\": \"grass\", \"measures\": " +
-          std::to_string(measures) + "},\n";
+          std::to_string(measures_per_run) + "},\n";
   json += "  \"e2e_disabled_s\": " + v(disabled_s) + ",\n";
   json += "  \"e2e_enabled_s\": " + v(enabled_s) + ",\n";
   json += "  \"enabled_overhead_fraction\": " + v(enabled_overhead) + ",\n";
@@ -170,14 +202,16 @@ int main(int argc, char** argv) {
   json += "  \"measure_us_per_pair_enabled\": " + v(measure_ns / 1e3) + ",\n";
   json += "  \"stage_us_per_measure\": {";
   bool first = true;
-  for (const char* stage : {"ranging/synthesis", "ranging/channel", "ranging/detection",
-                            "ranging/filtering"}) {
+  for (const auto& [name, total_ns] : stages) {
     json += first ? "" : ", ";
     first = false;
-    json += "\"" + std::string(stage) + "\": " +
-            v(static_cast<double>(snap.stage_total_ns(stage)) /
-              static_cast<double>(measures) / 1e3);
+    json += "\"" + name + "\": " +
+            v(static_cast<double>(total_ns) / static_cast<double>(measures) / 1e3);
   }
+  json += first ? "" : ", ";
+  json += "\"ranging/filtering\": " +
+          v(static_cast<double>(snap.stage_total_ns("ranging/filtering")) /
+            static_cast<double>(measures) / 1e3);
   json += "},\n";
   json += "  \"measure_stage_attribution\": " + v(attribution) + ",\n";
   json += "  \"gates\": {\"disabled_overhead_max\": 0.02, \"enabled_overhead_max\": 0.10, "

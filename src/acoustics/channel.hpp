@@ -67,6 +67,24 @@ struct ChannelJitter {
   double rampup_penalty_db = 5.0;
 };
 
+/// The distance-dependent pieces of the channel response, computed once per
+/// (distance, environment) and reusable across every chirp window, round,
+/// and direction of a link: the spreading loss (environment-independent),
+/// the excess attenuation (linear in distance), and the acoustic travel
+/// time. Everything else in the received SNR -- speaker level, shadowing,
+/// mic sensitivity, noise floor -- varies per unit or per attempt and is
+/// composed on top in exactly the association order propagation.hpp uses,
+/// so cached and uncached windows are bit-identical.
+struct LinkResponse {
+  double distance_m = 0.0;
+  double spreading_db = 0.0;  ///< 20 * log10(max(d, 10 cm) / 10 cm)
+  double excess_db = 0.0;     ///< env.excess_attenuation_db_per_m * d
+  double travel_s = 0.0;      ///< d / env.speed_of_sound_mps
+};
+
+/// Computes the reusable channel response for one link distance.
+LinkResponse link_response(double distance_m, const EnvironmentProfile& env);
+
 /// Builds the received window for one receiver at `distance_m` from the
 /// source. `emissions` must include every chirp whose direct signal or echo
 /// can fall inside the window (i.e. also the previous chirp).
@@ -79,6 +97,14 @@ ReceivedWindow receive(const std::vector<Emission>& emissions, double window_sta
 /// across a campaign's pairs. Draw-for-draw identical to receive().
 void receive_into(ReceivedWindow& window, const std::vector<Emission>& emissions,
                   double window_start_s, double window_duration_s, double distance_m,
+                  const SpeakerUnit& speaker, const MicUnit& mic, const EnvironmentProfile& env,
+                  const ChannelJitter& jitter, resloc::math::Rng& rng);
+
+/// receive_into() with the distance-dependent response precomputed (usually
+/// by a sim::ChannelResponseCache). Value- and draw-identical to the
+/// distance-taking overload for link == link_response(distance_m, env).
+void receive_into(ReceivedWindow& window, const std::vector<Emission>& emissions,
+                  double window_start_s, double window_duration_s, const LinkResponse& link,
                   const SpeakerUnit& speaker, const MicUnit& mic, const EnvironmentProfile& env,
                   const ChannelJitter& jitter, resloc::math::Rng& rng);
 

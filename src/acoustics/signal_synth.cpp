@@ -34,6 +34,15 @@ std::vector<double> synthesize_waveform(const WaveformSpec& spec,
   return wave;
 }
 
+void mix_tone_noise_block(const double* amplitude, const double* tone, const double* noise,
+                          const std::uint8_t* burst, double burst_noise_sigma, double* out,
+                          std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double sigma = burst[i] != 0 ? burst_noise_sigma : 1.0;
+    out[i] = amplitude[i] * tone[i] + sigma * noise[i];
+  }
+}
+
 std::vector<ChirpPlacement> periodic_chirps(std::size_t count, std::size_t first_start,
                                             std::size_t period, std::size_t length) {
   std::vector<ChirpPlacement> chirps;

@@ -8,6 +8,7 @@
 // interference tones.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "math/rng.hpp"
@@ -39,6 +40,17 @@ std::vector<double> synthesize_waveform(const WaveformSpec& spec,
 /// starting at `first_start`, separated by `period` samples.
 std::vector<ChirpPlacement> periodic_chirps(std::size_t count, std::size_t first_start,
                                             std::size_t period, std::size_t length);
+
+/// Block synthesis kernel of the sampled-audio paths:
+///     out[i] = amplitude[i] * tone[i] + (burst[i] ? burst_noise_sigma : 1.0) * noise[i]
+/// -- tone envelope on the cached tone table plus scaled standard-normal
+/// noise, the same per-sample arithmetic the retired fused loops computed
+/// interleaved with their RNG draws (gaussian(0, sigma) == sigma *
+/// gaussian(0, 1) bit for bit). Branch-free and contiguous, so it
+/// auto-vectorizes; the noise block comes from Rng::fill_gaussian_block.
+void mix_tone_noise_block(const double* amplitude, const double* tone, const double* noise,
+                          const std::uint8_t* burst, double burst_noise_sigma, double* out,
+                          std::size_t n);
 
 /// Read-only view of a cached chirp tone template: sin/cos of the tone phase
 /// at absolute sample index i. The matched-filter detector correlates raw

@@ -32,6 +32,23 @@ void sample_bracket(double window_start_s, double dt, std::size_t num_samples, d
   hi = static_cast<std::size_t>(hi_d);
 }
 
+SampleSpan interval_sample_span(double window_start_s, double dt, std::size_t num_samples,
+                                double start_s, double end_s) {
+  std::size_t lo = 0, hi = 0;
+  sample_bracket(window_start_s, dt, num_samples, start_s, end_s, lo, hi);
+  // Refine the conservative bracket to the exact predicate range. t(i) is
+  // strictly increasing, so {i : t >= start && t < end} is contiguous; the
+  // bracket has ~one sample of slack per side, so each loop runs a couple of
+  // iterations at most. The comparisons are the exact ones the per-sample
+  // predicate applied, evaluated on the identical t(i) expression.
+  const auto t = [&](std::size_t i) {
+    return window_start_s + static_cast<double>(i) * dt;
+  };
+  while (lo < hi && t(lo) < start_s) ++lo;
+  while (hi > lo && t(hi - 1) >= end_s) --hi;
+  return {lo, hi};
+}
+
 void ToneDetectorModel::sample_window_into(const ReceivedWindow& window,
                                            std::size_t num_samples, const MicUnit& mic,
                                            resloc::math::Rng& rng, DetectorScratch& scratch,
@@ -41,19 +58,22 @@ void ToneDetectorModel::sample_window_into(const ReceivedWindow& window,
   scratch.tone.assign(num_samples, 0);
   scratch.burst.assign(num_samples, 0);
 
-  // Rasterize each interval onto the few samples it can cover. The predicate
-  // inside the bracket is the same t >= start && t < end comparison the naive
+  // Rasterize each interval onto its exact contiguous sample span -- the edge
+  // refinement applies the same t >= start && t < end comparison the retired
   // per-sample scan used, so the outputs match it bit for bit.
   for (const SignalInterval& s : window.signals) {
-    for_each_sample_in_interval(window.start_s, dt, num_samples, s.start_s, s.end_s,
-                                [&](std::size_t i) {
-                                  scratch.tone[i] = 1;
-                                  scratch.best_snr[i] = std::max(scratch.best_snr[i], s.snr_db);
-                                });
+    const SampleSpan span =
+        interval_sample_span(window.start_s, dt, num_samples, s.start_s, s.end_s);
+    for (std::size_t i = span.lo; i < span.hi; ++i) {
+      scratch.tone[i] = 1;
+      scratch.best_snr[i] = std::max(scratch.best_snr[i], s.snr_db);
+    }
   }
   for (const NoiseBurst& b : window.bursts) {
-    for_each_sample_in_interval(window.start_s, dt, num_samples, b.start_s, b.end_s,
-                                [&](std::size_t i) { scratch.burst[i] = 1; });
+    const SampleSpan span =
+        interval_sample_span(window.start_s, dt, num_samples, b.start_s, b.end_s);
+    std::fill(scratch.burst.begin() + static_cast<std::ptrdiff_t>(span.lo),
+              scratch.burst.begin() + static_cast<std::ptrdiff_t>(span.hi), std::uint8_t{1});
   }
 
   out.assign(num_samples, false);
@@ -67,6 +87,55 @@ void ToneDetectorModel::sample_window_into(const ReceivedWindow& window,
       if (mic.faulty) p = std::max(p, kFaultyMicFalsePositiveRate);
     }
     out[i] = rng.bernoulli(p);
+  }
+}
+
+void ToneDetectorModel::fire_thresholds_block(const ReceivedWindow& window,
+                                              std::size_t num_samples, const MicUnit& mic,
+                                              DetectorScratch& scratch,
+                                              std::uint64_t* thresholds) const {
+  const double dt = sample_period_s();
+
+  // Off-tone probabilities are per-window constants; a faulty mic's floor is
+  // folded in before thresholding (threshold-of-max == max-of-thresholds,
+  // the conversion is monotone).
+  double base_rate = env_.false_positive_rate;
+  double burst_rate = env_.noise_burst_false_positive_rate;
+  if (mic.faulty) {
+    base_rate = std::max(base_rate, kFaultyMicFalsePositiveRate);
+    burst_rate = std::max(burst_rate, kFaultyMicFalsePositiveRate);
+  }
+  const std::uint64_t base_threshold = resloc::math::Rng::bernoulli_threshold(base_rate);
+  const std::uint64_t burst_threshold = resloc::math::Rng::bernoulli_threshold(burst_rate);
+
+  std::fill(thresholds, thresholds + num_samples, base_threshold);
+  for (const NoiseBurst& b : window.bursts) {
+    const SampleSpan span =
+        interval_sample_span(window.start_s, dt, num_samples, b.start_s, b.end_s);
+    std::fill(thresholds + span.lo, thresholds + span.hi, burst_threshold);
+  }
+
+  // Tone spans override the noise floors entirely (the scalar path branches
+  // on tone-presence first), and overlapping tones combine by max. The
+  // scalar path maxes SNRs then converts; converting per interval and maxing
+  // thresholds is the same because detection_probability and
+  // bernoulli_threshold are both monotone non-decreasing, so the max element
+  // produces the same threshold either way. One detection_probability call
+  // per interval instead of per covered sample.
+  scratch.tone.assign(num_samples, 0);
+  for (const SignalInterval& s : window.signals) {
+    const std::uint64_t tone_threshold =
+        resloc::math::Rng::bernoulli_threshold(detection_probability(s.snr_db));
+    const SampleSpan span =
+        interval_sample_span(window.start_s, dt, num_samples, s.start_s, s.end_s);
+    for (std::size_t i = span.lo; i < span.hi; ++i) {
+      if (scratch.tone[i] != 0) {
+        thresholds[i] = std::max(thresholds[i], tone_threshold);
+      } else {
+        scratch.tone[i] = 1;
+        thresholds[i] = tone_threshold;
+      }
+    }
   }
 }
 

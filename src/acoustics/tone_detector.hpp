@@ -26,26 +26,29 @@ struct DetectorScratch {
 /// Conservative sample-index bracket of [start_s, end_s) within a window of
 /// `num_samples` starting at `window_start_s` with period `sample_period_s`:
 /// one sample of slack on each side absorbs the division rounding, and the
-/// caller's exact per-sample predicate decides inside it. Shared by the
-/// hardware detector model and the software (Goertzel) path so both rasterize
-/// intervals identically.
+/// exact edge refinement in interval_sample_span decides inside it. Shared by
+/// the hardware detector model and the software (Goertzel) path so both
+/// rasterize intervals identically.
 void sample_bracket(double window_start_s, double sample_period_s, std::size_t num_samples,
                     double start_s, double end_s, std::size_t& lo, std::size_t& hi);
 
-/// Invokes `fn(i)` for every sample index i whose time lies in [start_s,
-/// end_s): brackets conservatively, then decides with the exact per-sample
-/// predicate. All interval rasterization (hardware detector model, software
-/// Goertzel path) goes through here so the paths cannot drift apart.
-template <typename Fn>
-void for_each_sample_in_interval(double window_start_s, double sample_period_s,
-                                 std::size_t num_samples, double start_s, double end_s, Fn&& fn) {
-  std::size_t lo = 0, hi = 0;
-  sample_bracket(window_start_s, sample_period_s, num_samples, start_s, end_s, lo, hi);
-  for (std::size_t i = lo; i < hi; ++i) {
-    const double t = window_start_s + static_cast<double>(i) * sample_period_s;
-    if (t >= start_s && t < end_s) fn(i);
-  }
-}
+/// Contiguous index range [lo, hi) of the sample set the interval covers.
+struct SampleSpan {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+};
+
+/// Block variant of interval rasterization: the exact index range of every
+/// sample whose time t = window_start_s + i * sample_period_s satisfies
+/// t >= start_s && t < end_s. Sample times are strictly increasing, so the
+/// predicate selects a contiguous range; the bracket is refined at its two
+/// edges with the same exact comparison the retired per-sample loop applied
+/// at every index, which is why callers can fill [lo, hi) wholesale and
+/// produce bit-identical rasterizations. All interval rasterization
+/// (hardware detector model, software envelope) goes through here so the
+/// paths cannot drift apart.
+SampleSpan interval_sample_span(double window_start_s, double sample_period_s,
+                                std::size_t num_samples, double start_s, double end_s);
 
 /// Samples the binary tone-detector output over a received window.
 class ToneDetectorModel {
@@ -69,6 +72,21 @@ class ToneDetectorModel {
   void sample_window_into(const ReceivedWindow& window, std::size_t num_samples,
                           const MicUnit& mic, resloc::math::Rng& rng, DetectorScratch& scratch,
                           std::vector<bool>& out) const;
+
+  /// Block entry point: the deterministic front half of sample_window_into.
+  /// Writes the per-sample 53-bit Bernoulli thresholds (see
+  /// math::Rng::bernoulli_threshold) into `thresholds[0, num_samples)`:
+  /// base/burst false-positive rates fill whole interval spans, and tone
+  /// spans take the per-interval detection-probability threshold (max over
+  /// overlapping intervals -- threshold-of-probability is monotone in SNR, so
+  /// max of thresholds equals the threshold of the scalar path's best-SNR
+  /// max, bit for bit). Consumes no randomness; pair it with
+  /// SignalAccumulator::record_chirp_bernoulli, which draws the identical
+  /// one-uniform-per-sample stream the scalar path draws. Only scratch.tone
+  /// is used as working storage.
+  void fire_thresholds_block(const ReceivedWindow& window, std::size_t num_samples,
+                             const MicUnit& mic, DetectorScratch& scratch,
+                             std::uint64_t* thresholds) const;
 
   double sample_rate_hz() const { return sample_rate_hz_; }
   double sample_period_s() const { return 1.0 / sample_rate_hz_; }

@@ -3,11 +3,29 @@
 #include <cassert>
 #include <cmath>
 #include "math/constants.hpp"
+#include "math/simd_dispatch.hpp"
+
+#if RESLOC_X86_SIMD
+// GCC's unary AVX-512 intrinsics pass _mm512_undefined_epi32() as the
+// masked-off source operand; with a full mask that operand is never read,
+// but -Wmaybe-uninitialized cannot see through the builtin and flags it.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#include <immintrin.h>
+#pragma GCC diagnostic pop
+#endif
 
 namespace resloc::math {
 
 namespace {
 constexpr std::uint64_t kMultiplier = 6364136223846793005ULL;
+
+/// PCG32 XSH-RR output permutation of a raw LCG state.
+inline std::uint32_t pcg_output(std::uint64_t state) {
+  const auto xorshifted = static_cast<std::uint32_t>(((state >> 18u) ^ state) >> 27u);
+  const auto rot = static_cast<std::uint32_t>(state >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
 
 // SplitMix64 finalizer (Steele et al., 2014): a strong 64 -> 64 bit mixer
 // whose outputs for consecutive inputs are statistically independent, which
@@ -18,6 +36,150 @@ std::uint64_t splitmix64(std::uint64_t x) {
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
   return x ^ (x >> 31);
 }
+
+/// 16-lane jump-ahead seed block shared by every fill_bits_groups variant:
+/// lane r starts at the state of raw u32 index r, and (jump_mul, jump_add)
+/// advance any lane by 16 raw steps. Jump constants by doubling: if
+/// s' = A s + C jumps L steps, then A^2 s + (A + 1) C jumps 2L; four
+/// doublings give jump-by-16.
+struct LaneSetup {
+  std::uint64_t s[16];
+  std::uint64_t jump_mul;
+  std::uint64_t jump_add;
+};
+
+LaneSetup lane_setup(std::uint64_t state, std::uint64_t inc) {
+  LaneSetup ls;
+  ls.s[0] = state;
+  for (int r = 1; r < 16; ++r) ls.s[r] = ls.s[r - 1] * kMultiplier + inc;
+  ls.jump_mul = kMultiplier;
+  ls.jump_add = inc;
+  for (int d = 0; d < 4; ++d) {
+    ls.jump_add *= ls.jump_mul + 1;
+    ls.jump_mul *= ls.jump_mul;
+  }
+  return ls;
+}
+
+/// Portable body of fill_uniform_bits_block: emits `groups` * 8 uniforms
+/// (16 raw u32 outputs per group) and returns the LCG state after
+/// 16 * groups raw steps -- exactly the sequential state. Lane r carries the
+/// states of raw indices congruent to r mod 16, so the serial multiply
+/// dependency becomes 16 independent chains.
+std::uint64_t fill_bits_groups(std::uint64_t state, std::uint64_t inc, std::uint64_t* out,
+                               std::size_t groups) {
+  LaneSetup ls = lane_setup(state, inc);
+  for (std::size_t g = 0; g < groups; ++g) {
+    std::uint32_t o[16];
+    for (int r = 0; r < 16; ++r) {
+      o[r] = pcg_output(ls.s[r]);
+      ls.s[r] = ls.s[r] * ls.jump_mul + ls.jump_add;
+    }
+    for (int j = 0; j < 8; ++j) {
+      out[8 * g + j] =
+          ((static_cast<std::uint64_t>(o[2 * j]) << 32) | o[2 * j + 1]) >> 11;
+    }
+  }
+  return ls.s[0];  // lane 0 holds raw index 16 * groups = the sequential state
+}
+
+#if RESLOC_X86_SIMD
+
+/// AVX-512 variant: two vectors of 8 LCG lanes. XSH-RR maps directly onto
+/// the ISA -- 64-bit lane multiply (vpmullq), truncating narrow
+/// (vpmovqd), and the per-lane 32-bit variable rotate is a single vprorvd.
+__attribute__((target("avx512f,avx512dq,avx512vl")))
+std::uint64_t fill_bits_groups_avx512(std::uint64_t state, std::uint64_t inc,
+                                      std::uint64_t* out, std::size_t groups) {
+  const LaneSetup ls = lane_setup(state, inc);
+  __m512i s0 = _mm512_loadu_si512(ls.s);
+  __m512i s1 = _mm512_loadu_si512(ls.s + 8);
+  const __m512i jm = _mm512_set1_epi64(static_cast<long long>(ls.jump_mul));
+  const __m512i ja = _mm512_set1_epi64(static_cast<long long>(ls.jump_add));
+  for (std::size_t g = 0; g < groups; ++g) {
+    const __m512i x0 =
+        _mm512_srli_epi64(_mm512_xor_si512(_mm512_srli_epi64(s0, 18), s0), 27);
+    const __m512i x1 =
+        _mm512_srli_epi64(_mm512_xor_si512(_mm512_srli_epi64(s1, 18), s1), 27);
+    const __m256i o0 = _mm256_rorv_epi32(_mm512_cvtepi64_epi32(x0),
+                                         _mm512_cvtepi64_epi32(_mm512_srli_epi64(s0, 59)));
+    const __m256i o1 = _mm256_rorv_epi32(_mm512_cvtepi64_epi32(x1),
+                                         _mm512_cvtepi64_epi32(_mm512_srli_epi64(s1, 59)));
+    // out[j] = ((u64)o[2j] << 32 | o[2j+1]) >> 11: in the little-endian u64
+    // view adjacent u32 lanes sit swapped, so one 32-bit element swap plus a
+    // 64-bit shift produces four outputs per vector.
+    const __m256i p0 =
+        _mm256_srli_epi64(_mm256_shuffle_epi32(o0, _MM_SHUFFLE(2, 3, 0, 1)), 11);
+    const __m256i p1 =
+        _mm256_srli_epi64(_mm256_shuffle_epi32(o1, _MM_SHUFFLE(2, 3, 0, 1)), 11);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 8 * g), p0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 8 * g + 4), p1);
+    s0 = _mm512_add_epi64(_mm512_mullo_epi64(s0, jm), ja);
+    s1 = _mm512_add_epi64(_mm512_mullo_epi64(s1, jm), ja);
+  }
+  std::uint64_t tail[8];
+  _mm512_storeu_si512(tail, s0);
+  return tail[0];
+}
+
+/// 64 x 64 -> low 64 multiply from 32-bit partial products (AVX2 has no
+/// 64-bit lane multiply): lo*lo + ((hi*lo + lo*hi) << 32).
+__attribute__((target("avx2")))
+inline __m256i mullo64_avx2(__m256i a, __m256i b) {
+  const __m256i lo = _mm256_mul_epu32(a, b);
+  const __m256i cross =
+      _mm256_add_epi64(_mm256_mul_epu32(_mm256_srli_epi64(a, 32), b),
+                       _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32)));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+/// AVX2 variant: four vectors of 4 LCG lanes, grouped even/odd by raw index
+/// (v0 = raw {0,2,4,6}, v1 = raw {1,3,5,7}, ...) so an output u64 is one
+/// shift-or across two vectors. The 32-bit rotate runs in the 64-bit lanes
+/// with variable shifts; the rotated value still fits 32 bits.
+__attribute__((target("avx2")))
+std::uint64_t fill_bits_groups_avx2(std::uint64_t state, std::uint64_t inc,
+                                    std::uint64_t* out, std::size_t groups) {
+  const LaneSetup ls = lane_setup(state, inc);
+  alignas(32) std::uint64_t lanes[16];
+  for (int r = 0; r < 16; ++r) {
+    lanes[8 * (r / 8) + 4 * (r % 2) + (r % 8) / 2] = ls.s[r];
+  }
+  __m256i v[4];
+  for (int k = 0; k < 4; ++k) {
+    v[k] = _mm256_load_si256(reinterpret_cast<const __m256i*>(lanes + 4 * k));
+  }
+  const __m256i jm = _mm256_set1_epi64x(static_cast<long long>(ls.jump_mul));
+  const __m256i ja = _mm256_set1_epi64x(static_cast<long long>(ls.jump_add));
+  const __m256i mask32 = _mm256_set1_epi64x(0xffffffffLL);
+  const __m256i c32 = _mm256_set1_epi64x(32);
+  const __m256i c31 = _mm256_set1_epi64x(31);
+  for (std::size_t g = 0; g < groups; ++g) {
+    __m256i o[4];
+    for (int k = 0; k < 4; ++k) {
+      const __m256i s = v[k];
+      const __m256i x = _mm256_and_si256(
+          _mm256_srli_epi64(_mm256_xor_si256(_mm256_srli_epi64(s, 18), s), 27), mask32);
+      const __m256i rot = _mm256_srli_epi64(s, 59);
+      const __m256i left_count = _mm256_and_si256(_mm256_sub_epi64(c32, rot), c31);
+      o[k] = _mm256_or_si256(
+          _mm256_srlv_epi64(x, rot),
+          _mm256_and_si256(_mm256_sllv_epi64(x, left_count), mask32));
+      v[k] = _mm256_add_epi64(mullo64_avx2(s, jm), ja);
+    }
+    // v0/v1 carry the even/odd raw outputs of u64s 0..3, v2/v3 of u64s 4..7.
+    const __m256i p0 =
+        _mm256_srli_epi64(_mm256_or_si256(_mm256_slli_epi64(o[0], 32), o[1]), 11);
+    const __m256i p1 =
+        _mm256_srli_epi64(_mm256_or_si256(_mm256_slli_epi64(o[2], 32), o[3]), 11);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 8 * g), p0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 8 * g + 4), p1);
+  }
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), v[0]);
+  return lanes[0];  // v0 lane 0 = raw index 16 * groups = the sequential state
+}
+
+#endif  // RESLOC_X86_SIMD
 }  // namespace
 
 Rng::Rng(std::uint64_t seed, std::uint64_t stream) : state_(0), inc_((stream << 1u) | 1u) {
@@ -29,17 +191,59 @@ Rng::Rng(std::uint64_t seed, std::uint64_t stream) : state_(0), inc_((stream << 
 std::uint32_t Rng::next_u32() {
   const std::uint64_t old = state_;
   state_ = old * kMultiplier + inc_;
-  const auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
-  const auto rot = static_cast<std::uint32_t>(old >> 59u);
-  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  return pcg_output(old);
+}
+
+std::uint64_t Rng::uniform_bits() {
+  const std::uint64_t hi = next_u32();
+  const std::uint64_t lo = next_u32();
+  return ((hi << 32) | lo) >> 11;
+}
+
+std::uint64_t Rng::bernoulli_threshold(double p) {
+  if (p <= 0.0) return 0;                           // uniform() < p never holds
+  if (p >= 1.0) return std::uint64_t{1} << 53;      // always holds (bits < 2^53)
+  // p * 2^53 is exact; the proof that bits < ceil(p * 2^53) matches
+  // double(bits) * 2^-53 < p splits on whether p * 2^53 is an integer, and
+  // both cases agree because bits itself is an integer.
+  return static_cast<std::uint64_t>(std::ceil(p * 0x1.0p53));
 }
 
 double Rng::uniform() {
   // 53 random bits -> double in [0, 1).
-  const std::uint64_t hi = next_u32();
-  const std::uint64_t lo = next_u32();
-  const std::uint64_t bits = ((hi << 32) | lo) >> 11;
-  return static_cast<double>(bits) * 0x1.0p-53;
+  return static_cast<double>(uniform_bits()) * 0x1.0p-53;
+}
+
+void Rng::fill_uniform_bits_block(std::uint64_t* out, std::size_t n) {
+  // 16 jump-ahead lanes restructure the serial multiply chain into
+  // independent streams the SIMD variants map onto vector lanes. Output
+  // values AND the final generator state are identical to n sequential
+  // uniform_bits() calls -- the lanes only change evaluation order.
+  const std::size_t groups = n / 8;
+  if (groups > 0) {
+#if RESLOC_X86_SIMD
+    if (cpu_has_avx512_kernels()) {
+      state_ = fill_bits_groups_avx512(state_, inc_, out, groups);
+    } else if (cpu_has_avx2_kernels()) {
+      state_ = fill_bits_groups_avx2(state_, inc_, out, groups);
+    } else
+#endif
+    {
+      state_ = fill_bits_groups(state_, inc_, out, groups);
+    }
+    out += groups * 8;
+    n -= groups * 8;
+  }
+  for (std::size_t i = 0; i < n; ++i) out[i] = uniform_bits();
+}
+
+void Rng::fill_gaussian_block(double* out, std::size_t n) {
+  // Box-Muller is libm-bound (log/sqrt/sincos per pair), so the block form is
+  // the sequential draw order verbatim; the win for callers is separating the
+  // standard-normal stream from the per-sample scaling/mixing, which then
+  // vectorizes. gaussian(0, 1) returns the raw normal (0 + 1 * z == z except
+  // for a harmless -0 -> +0 normalization), including the cached second half.
+  for (std::size_t i = 0; i < n; ++i) out[i] = gaussian(0.0, 1.0);
 }
 
 double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }

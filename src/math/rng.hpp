@@ -24,6 +24,20 @@ class Rng {
   /// Next raw 32-bit output.
   std::uint32_t next_u32();
 
+  /// The 53-bit integer behind uniform(): uniform() == uniform_bits() * 2^-53
+  /// exactly (the conversion is a power-of-two scaling of an integer below
+  /// 2^53, so it is lossless). Block kernels compare these integers against
+  /// precomputed bernoulli_threshold() values to keep their inner loops free
+  /// of floating point while drawing the identical stream.
+  std::uint64_t uniform_bits();
+
+  /// Integer form of a Bernoulli comparison:
+  ///     uniform() < p   <=>   uniform_bits() < bernoulli_threshold(p)
+  /// for every double p. For p in (0, 1), p * 2^53 is exact (power-of-two
+  /// scaling), so ceil(p * 2^53) splits the 53-bit lattice at exactly the
+  /// same point the double comparison does.
+  static std::uint64_t bernoulli_threshold(double p);
+
   /// Uniform double in [0, 1).
   double uniform();
 
@@ -41,6 +55,21 @@ class Rng {
 
   /// Exponential sample with the given rate parameter lambda.
   double exponential(double lambda);
+
+  /// Writes exactly the next `n` uniform_bits() draws to `out` and leaves the
+  /// generator in the same state n sequential calls would. Internally the raw
+  /// u32 sequence is split across 8 independent LCG lanes via the jump-by-8
+  /// affine map, so the 8 state multiplies per iteration have no dependency
+  /// chain between them -- the serial PCG recurrence is the block-DSP hot
+  /// path's floor, and this is how it is broken without changing one output.
+  void fill_uniform_bits_block(std::uint64_t* out, std::size_t n);
+
+  /// Writes exactly the next `n` gaussian(0, 1) draws to `out`, including the
+  /// Box-Muller cached-second-normal behaviour (a cached half pending before
+  /// the call is consumed first; one may be left pending after). Standard
+  /// normals only: gaussian(0, sigma) == sigma * gaussian(0, 1) bit for bit,
+  /// so callers scale in their own vectorizable pass.
+  void fill_gaussian_block(double* out, std::size_t n);
 
   /// Fisher-Yates shuffle of a vector.
   template <typename T>

@@ -381,11 +381,11 @@ std::string metrics_report_text(const TelemetrySnapshot& snap) {
   std::string out;
   char line[256];
   out += "telemetry stage totals (wall-clock durations are non-deterministic):\n";
-  std::snprintf(line, sizeof(line), "  %-28s %12s %14s %12s\n", "stage", "count",
+  std::snprintf(line, sizeof(line), "  %-30s %12s %14s %12s\n", "stage", "count",
                 "total_ms", "mean_us");
   out += line;
   for (const auto& [name, total] : sorted_stages(snap)) {
-    std::snprintf(line, sizeof(line), "  %-28s %12llu %14.3f %12.3f\n", name.c_str(),
+    std::snprintf(line, sizeof(line), "  %-30s %12llu %14.3f %12.3f\n", name.c_str(),
                   static_cast<unsigned long long>(total.count),
                   static_cast<double>(total.total_ns) / 1e6,
                   static_cast<double>(total.total_ns) / 1e3 /
@@ -394,7 +394,7 @@ std::string metrics_report_text(const TelemetrySnapshot& snap) {
   }
   out += "telemetry counters (deterministic per seed at any thread count):\n";
   for (std::size_t c = 0; c < static_cast<std::size_t>(Counter::kCount); ++c) {
-    std::snprintf(line, sizeof(line), "  %-28s %12llu\n",
+    std::snprintf(line, sizeof(line), "  %-30s %12llu\n",
                   counter_name(static_cast<Counter>(c)),
                   static_cast<unsigned long long>(
                       c < snap.counters.size() ? snap.counters[c] : 0));

@@ -109,6 +109,10 @@ double GoertzelToneDetector::step(double sample) {
   return band_power - noise_scale_ * filter_.window_energy() - kNumericFloor;
 }
 
+void GoertzelToneDetector::run_block(const double* x, std::size_t n, double* metric) {
+  for (std::size_t i = 0; i < n; ++i) metric[i] = step(x[i]);
+}
+
 void GoertzelToneDetector::reset() { filter_.reset(); }
 
 void SlidingDftFilter::reset() {

@@ -146,9 +146,16 @@ class GoertzelToneDetector {
                                 double noise_scale = 6.0);
 
   /// Feeds one sample; returns the noise-subtracted detection metric
-  /// (positive indicates a tone). The campaign's software-detector path
+  /// (positive indicates a tone). The campaign's scalar reference path
   /// drives this sample-by-sample (RangingService::software_sample_window).
   double step(double sample);
+
+  /// Block entry point: metric[i] = step(x[i]) for i in [0, n) -- the same
+  /// sliding recurrence, resync cadence, and rounding as n scalar calls
+  /// (it IS the scalar step, inlined into one loop over a contiguous
+  /// buffer, which removes the per-sample cross-TU call the fused
+  /// synthesize-and-filter loop paid).
+  void run_block(const double* x, std::size_t n, double* metric);
 
   void reset();
   int bin() const { return filter_.bin(); }

@@ -12,10 +12,31 @@ void MatchedFilterNcc::detect_into(const double* x, std::size_t n, std::size_t c
                                    const acoustics::ToneTemplateView& tpl,
                                    std::vector<bool>& marks) {
   marks.assign(n, false);
+  if (!scan(x, n, chirp_samples, tpl)) return;
+  for (std::size_t i : peaks_) {
+    const std::size_t end = std::min(n, i + static_cast<std::size_t>(peak_plateau_));
+    for (std::size_t j = i; j < end; ++j) marks[j] = true;
+  }
+}
+
+void MatchedFilterNcc::detect_into(const double* x, std::size_t n, std::size_t chirp_samples,
+                                   const acoustics::ToneTemplateView& tpl,
+                                   std::uint8_t* marks) {
+  std::fill(marks, marks + n, std::uint8_t{0});
+  if (!scan(x, n, chirp_samples, tpl)) return;
+  for (std::size_t i : peaks_) {
+    const std::size_t end = std::min(n, i + static_cast<std::size_t>(peak_plateau_));
+    std::fill(marks + i, marks + end, std::uint8_t{1});
+  }
+}
+
+bool MatchedFilterNcc::scan(const double* x, std::size_t n, std::size_t chirp_samples,
+                            const acoustics::ToneTemplateView& tpl) {
+  peaks_.clear();
   const std::size_t L = std::max<std::size_t>(1, chirp_samples);
   if (n < L || tpl.length < n) {
     ncc_.clear();
-    return;
+    return false;
   }
 
   // Prefix sums of x*sin(w*k), x*cos(w*k), x^2 over the absolute sample index
@@ -68,9 +89,9 @@ void MatchedFilterNcc::detect_into(const double* x, std::size_t n, std::size_t c
     for (std::size_t j = lo; j < i && dominant; ++j) dominant = ncc_[j] < ncc_[i];
     for (std::size_t j = i + 1; j < hi && dominant; ++j) dominant = ncc_[j] <= ncc_[i];
     if (!dominant) continue;
-    const std::size_t end = std::min(n, i + static_cast<std::size_t>(peak_plateau_));
-    for (std::size_t j = i; j < end; ++j) marks[j] = true;
+    peaks_.push_back(i);
   }
+  return true;
 }
 
 }  // namespace resloc::ranging

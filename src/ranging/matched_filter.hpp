@@ -31,6 +31,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "acoustics/signal_synth.hpp"
@@ -66,16 +67,32 @@ class MatchedFilterNcc {
   void detect_into(const double* x, std::size_t n, std::size_t chirp_samples,
                    const acoustics::ToneTemplateView& tpl, std::vector<bool>& marks);
 
+  /// detect_into over a contiguous 0/1 mark buffer (the block-DSP `fired`
+  /// lane, length n, caller-allocated). Identical scan, peak picking, and
+  /// plateau marking as the vector<bool> form -- the two share one core.
+  void detect_into(const double* x, std::size_t n, std::size_t chirp_samples,
+                   const acoustics::ToneTemplateView& tpl, std::uint8_t* marks);
+
   /// NCC series of the last detect_into call: ncc()[i] is the statistic for
   /// the window [i, i + chirp_samples). Exposed for the accuracy harness.
   const std::vector<double>& ncc() const { return ncc_; }
+
+  /// Picked onset offsets of the last detect_into call (before plateau
+  /// rasterization), in ascending order.
+  const std::vector<std::size_t>& peaks() const { return peaks_; }
 
   double threshold() const { return threshold_; }
   int peak_plateau() const { return peak_plateau_; }
 
  private:
+  /// Fills ncc_ and peaks_ for one window; returns false when the window is
+  /// shorter than the template (no scan possible).
+  bool scan(const double* x, std::size_t n, std::size_t chirp_samples,
+            const acoustics::ToneTemplateView& tpl);
+
   double threshold_;
   int peak_plateau_;
+  std::vector<std::size_t> peaks_;
   // Prefix sums over the window: sum x*sin, sum x*cos, sum x^2 (size n + 1).
   std::vector<double> prefix_sin_;
   std::vector<double> prefix_cos_;

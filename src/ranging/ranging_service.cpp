@@ -90,7 +90,17 @@ std::optional<double> RangingService::measure(double true_distance_m,
                                               const acoustics::MicUnit& mic,
                                               resloc::math::Rng& rng,
                                               RangingScratch& scratch) const {
-  return measure_impl(true_distance_m, speaker, mic, rng, scratch,
+  return measure_impl(true_distance_m, speaker, mic, rng, scratch, /*link=*/nullptr,
+                      /*want_accumulated=*/false)
+      .distance_m;
+}
+
+std::optional<double> RangingService::measure(double true_distance_m,
+                                              const acoustics::SpeakerUnit& speaker,
+                                              const acoustics::MicUnit& mic,
+                                              resloc::math::Rng& rng, RangingScratch& scratch,
+                                              const acoustics::LinkResponse& link) const {
+  return measure_impl(true_distance_m, speaker, mic, rng, scratch, &link,
                       /*want_accumulated=*/false)
       .distance_m;
 }
@@ -100,18 +110,20 @@ RangingAttempt RangingService::measure_with_diagnostics(double true_distance_m,
                                                         const acoustics::MicUnit& mic,
                                                         resloc::math::Rng& rng) const {
   RangingScratch scratch;
-  return measure_impl(true_distance_m, speaker, mic, rng, scratch, /*want_accumulated=*/true);
+  return measure_impl(true_distance_m, speaker, mic, rng, scratch, /*link=*/nullptr,
+                      /*want_accumulated=*/true);
 }
 
 RangingAttempt RangingService::measure_impl(double true_distance_m,
                                             const acoustics::SpeakerUnit& speaker,
                                             const acoustics::MicUnit& mic,
                                             resloc::math::Rng& rng, RangingScratch& scratch,
+                                            const acoustics::LinkResponse* link,
                                             bool want_accumulated) const {
-  // The per-pair acoustic-physics budget (~110 us/measure at survey density)
-  // is the wall ROADMAP item 1 targets; the sub-stage spans below attribute
-  // it to synthesis / channel / detection so the block-DSP refactor starts
-  // from a measured stage budget instead of a hypothesis.
+  // The per-pair acoustic-physics budget (~110 us/measure at survey density
+  // on the per-sample reference path) is the wall ROADMAP item 1 targets; the
+  // sub-stage spans below attribute it to the block kernels so regressions
+  // land on a named stage instead of "measure got slower".
   RESLOC_SPAN("ranging/measure");
   obs::add(obs::Counter::kMeasureCalls);
   RangingAttempt attempt;
@@ -119,50 +131,95 @@ RangingAttempt RangingService::measure_impl(double true_distance_m,
   acoustics::ChirpPattern pattern = config_.pattern;
   if (config_.baseline) pattern.num_chirps = 1;
 
-  acoustics::chirp_start_times_into(pattern, rng, scratch.starts);
-  scratch.emissions.clear();
-  scratch.emissions.reserve(scratch.starts.size());
-  for (double s : scratch.starts) scratch.emissions.push_back({s, pattern.chirp_duration_s});
+  {
+    RESLOC_SPAN("ranging/synthesis/schedule");
+    acoustics::chirp_start_times_into(pattern, rng, scratch.starts);
+    scratch.emissions.clear();
+    scratch.emissions.reserve(scratch.starts.size());
+    for (double s : scratch.starts) {
+      scratch.emissions.push_back({s, pattern.chirp_duration_s});
+    }
+  }
 
   const double window_duration_s =
       static_cast<double>(window_samples_) / config_.tdoa.sample_rate_hz;
   const double calibration_bias_s =
       config_.tdoa.delta_const_true_s - config_.tdoa.delta_const_calibrated_s;
 
+  // The distance-dependent channel response: supplied by the campaign's
+  // per-trial cache, or computed here once per measure (the per-chirp
+  // receive_into used to redo the log10 spreading term for every window).
+  const acoustics::LinkResponse link_local =
+      link != nullptr ? *link : acoustics::link_response(true_distance_m, config_.environment);
+
+  const bool block = config_.block_dsp;
+  if (block) scratch.dsp.resize(window_samples_);
+
   // Accumulate the binary detector output over all chirps, each window
   // aligned by the radio sync of that chirp. Echoes from *earlier* chirps
   // fall into later windows naturally because every emission is visible to
   // every window.
-  scratch.accumulator.reset(window_samples_);
+  if (block) {
+    // Zeroing the 4-bit counters is an O(window) accumulator pass.
+    RESLOC_SPAN("ranging/detection/accumulate");
+    scratch.accumulator.reset(window_samples_);
+  } else {
+    scratch.accumulator.reset(window_samples_);
+  }
   for (const acoustics::Emission& emission : scratch.emissions) {
-    // Receiver-side estimate of the chirp onset: true start shifted by the
-    // calibration bias plus the per-exchange clock-sync jitter.
-    const double sync_error_s =
-        calibration_bias_s + rng.gaussian(0.0, config_.tdoa.sync_jitter_s);
-    const double window_start_s = emission.start_s - sync_error_s;
-
     obs::add(obs::Counter::kChirpWindows);
     {
+      // The channel stage of one exchange: the receiver-side onset estimate
+      // (true start shifted by the calibration bias plus the per-exchange
+      // clock-sync jitter) and the window's link rasterization.
       RESLOC_SPAN("ranging/channel");
+      const double sync_error_s =
+          calibration_bias_s + rng.gaussian(0.0, config_.tdoa.sync_jitter_s);
+      const double window_start_s = emission.start_s - sync_error_s;
       acoustics::receive_into(scratch.received, scratch.emissions, window_start_s,
-                              window_duration_s, true_distance_m, speaker, mic,
+                              window_duration_s, link_local, speaker, mic,
                               config_.environment, config_.channel_jitter, rng);
     }
     switch (mode_) {
       case DetectorMode::kGoertzel:
-        software_sample_window(mic, rng, scratch);
+        if (block) software_sample_window_block(mic, rng, scratch);
+        else software_sample_window(mic, rng, scratch);
         break;
       case DetectorMode::kMatchedFilter:
-        ncc_sample_window(mic, rng, scratch);
+        if (block) ncc_sample_window_block(mic, rng, scratch);
+        else ncc_sample_window(mic, rng, scratch);
         break;
       case DetectorMode::kHardware: {
-        RESLOC_SPAN("ranging/detection");
-        detector_.sample_window_into(scratch.received, window_samples_, mic, rng,
-                                     scratch.detector, scratch.detector_output);
+        if (block) {
+          // Deterministic threshold rasterization, then the fused draw +
+          // accumulate: together they consume exactly the one-uniform-per-
+          // sample stream the per-sample reference draws.
+          {
+            RESLOC_SPAN("ranging/detection/probability");
+            detector_.fire_thresholds_block(scratch.received, window_samples_, mic,
+                                            scratch.detector,
+                                            scratch.dsp.fire_threshold.data());
+          }
+          RESLOC_SPAN("ranging/detection/accumulate");
+          scratch.accumulator.record_chirp_bernoulli(rng, scratch.dsp.fire_threshold.data(),
+                                                     scratch.dsp.uniform_bits.data());
+        } else {
+          RESLOC_SPAN("ranging/detection");
+          detector_.sample_window_into(scratch.received, window_samples_, mic, rng,
+                                       scratch.detector, scratch.detector_output);
+        }
         break;
       }
     }
-    {
+    if (block) {
+      if (mode_ != DetectorMode::kHardware) {
+        // The sampled-audio block paths leave the binary series in
+        // scratch.dsp.fired; fold it into the 4-bit counters. (The hardware
+        // block path accumulated inside record_chirp_bernoulli above.)
+        RESLOC_SPAN("ranging/detection/accumulate");
+        scratch.accumulator.record_chirp_block(scratch.dsp.fired.data(), window_samples_);
+      }
+    } else {
       // Folding the chirp's binary output into the 4-bit accumulator is an
       // O(window) pass per chirp -- detection-stage work, same as the scan.
       RESLOC_SPAN("ranging/detection");
@@ -173,15 +230,30 @@ RangingAttempt RangingService::measure_impl(double true_distance_m,
   const DetectionParams detection = config_.baseline ? kBaselineDetection : config_.detection;
   const std::vector<std::uint8_t>& samples = scratch.accumulator.samples();
 
-  RESLOC_SPAN("ranging/detection");
-  int index = detect_signal(samples, detection, 0);
-  if (!config_.baseline && config_.verify_pattern) {
-    while (index >= 0 &&
-           !verify_preceding_silence(samples, index, config_.silence_gap_samples,
-                                     detection.threshold, config_.silence_max_noisy)) {
-      ++attempt.rejected_detections;
-      index = detect_signal(samples, detection, index + 1);
+  // One resumable pass over the accumulated counters: the scanner keeps its
+  // sliding window count across pattern-verification rejections, so the whole
+  // rejection loop is O(n) instead of restarting detect_signal after every
+  // rejected candidate (O(window * rejections)).
+  const auto scan = [&]() {
+    SignalScanner scanner(samples, detection);
+    int index = scanner.next();
+    if (!config_.baseline && config_.verify_pattern) {
+      while (index >= 0 &&
+             !verify_preceding_silence(samples, index, config_.silence_gap_samples,
+                                       detection.threshold, config_.silence_max_noisy)) {
+        ++attempt.rejected_detections;
+        index = scanner.next();
+      }
     }
+    return index;
+  };
+  int index;
+  if (block) {
+    RESLOC_SPAN("ranging/detection/scan");
+    index = scan();
+  } else {
+    RESLOC_SPAN("ranging/detection");
+    index = scan();
   }
 
   if (index >= 0) {
@@ -193,9 +265,7 @@ RangingAttempt RangingService::measure_impl(double true_distance_m,
   return attempt;
 }
 
-void RangingService::software_sample_window(const acoustics::MicUnit& mic,
-                                            resloc::math::Rng& rng,
-                                            RangingScratch& scratch) const {
+void RangingService::prepare_goertzel(RangingScratch& scratch) const {
   const std::size_t n = window_samples_;
   const double fs = config_.tdoa.sample_rate_hz;
 
@@ -222,8 +292,27 @@ void RangingService::software_sample_window(const acoustics::MicUnit& mic,
   } else {
     scratch.goertzel->reset();
   }
+}
 
-  rasterize_window_envelope(mic, scratch);
+void RangingService::prepare_ncc(RangingScratch& scratch) const {
+  // The scanner is cached under its tuning like the Goertzel detector above;
+  // its prefix-sum buffers are reused across pairs.
+  if (!scratch.ncc || scratch.ncc->threshold() != config_.ncc_threshold ||
+      scratch.ncc->peak_plateau() != config_.ncc_peak_plateau) {
+    scratch.ncc.emplace(config_.ncc_threshold, config_.ncc_peak_plateau);
+  }
+}
+
+void RangingService::software_sample_window(const acoustics::MicUnit& mic,
+                                            resloc::math::Rng& rng,
+                                            RangingScratch& scratch) const {
+  const std::size_t n = window_samples_;
+  prepare_goertzel(scratch);
+
+  {
+    RESLOC_SPAN("ranging/synthesis");
+    rasterize_window_envelope(mic, scratch);
+  }
 
   // Synthesize and filter in one pass: each sample is the tone envelope on
   // the cached table plus Gaussian noise, and the binary series is the sign
@@ -247,13 +336,55 @@ void RangingService::software_sample_window(const acoustics::MicUnit& mic,
   }
 }
 
+void RangingService::software_sample_window_block(const acoustics::MicUnit& mic,
+                                                  resloc::math::Rng& rng,
+                                                  RangingScratch& scratch) const {
+  const std::size_t n = window_samples_;
+  prepare_goertzel(scratch);
+
+  // The reference path's fused synthesize-and-filter loop, decomposed into
+  // staged block kernels over contiguous buffers: envelope rasterization,
+  // standard-normal noise fill, tone + noise mix, Goertzel metric, group-
+  // delay-compensated thresholding. The RNG stream is identical because the
+  // fused loop drew its gaussians in sample order too, and
+  // gaussian(0, sigma) == sigma * gaussian(0, 1) bit for bit.
+  {
+    RESLOC_SPAN("ranging/synthesis/envelope");
+    rasterize_window_envelope(mic, scratch);
+  }
+  {
+    RESLOC_SPAN("ranging/synthesis/noise");
+    rng.fill_gaussian_block(scratch.dsp.noise.data(), n);
+  }
+  {
+    RESLOC_SPAN("ranging/synthesis/tone");
+    scratch.audio.resize(n);
+    acoustics::mix_tone_noise_block(scratch.amplitude.data(), scratch.tone_table.data(),
+                                    scratch.dsp.noise.data(), scratch.detector.burst.data(),
+                                    kBurstNoiseSigma, scratch.audio.data(), n);
+  }
+  RESLOC_SPAN("ranging/detection/goertzel");
+  scratch.goertzel->run_block(scratch.audio.data(), n, scratch.dsp.metric.data());
+  constexpr std::size_t kGroupDelay = SlidingDftFilter::kWindow / 2;
+  const std::size_t live = n > kGroupDelay ? n - kGroupDelay : 0;
+  std::uint8_t* fired = scratch.dsp.fired.data();
+  const double* metric = scratch.dsp.metric.data();
+  for (std::size_t j = 0; j < live; ++j) {
+    fired[j] = static_cast<std::uint8_t>(metric[j + kGroupDelay] > 0.0);
+  }
+  std::fill(fired + live, fired + n, std::uint8_t{0});
+}
+
 void RangingService::ncc_sample_window(const acoustics::MicUnit& mic, resloc::math::Rng& rng,
                                        RangingScratch& scratch) const {
   const std::size_t n = window_samples_;
   const double fs = config_.tdoa.sample_rate_hz;
   const double frequency_hz = config_.pattern.tone_frequency_hz;
 
-  rasterize_window_envelope(mic, scratch);
+  {
+    RESLOC_SPAN("ranging/synthesis");
+    rasterize_window_envelope(mic, scratch);
+  }
 
   // The chirp template -- the same cached sin/cos tables the synthesis engine
   // uses -- extended to cover the whole window, because the NCC prefix sums
@@ -273,12 +404,8 @@ void RangingService::ncc_sample_window(const acoustics::MicUnit& mic, resloc::ma
     }
   }
 
-  // Correlate and mark picked onsets. The scanner is cached under its tuning
-  // like the Goertzel detector above; its buffers are reused across pairs.
-  if (!scratch.ncc || scratch.ncc->threshold() != config_.ncc_threshold ||
-      scratch.ncc->peak_plateau() != config_.ncc_peak_plateau) {
-    scratch.ncc.emplace(config_.ncc_threshold, config_.ncc_peak_plateau);
-  }
+  // Correlate and mark picked onsets.
+  prepare_ncc(scratch);
   const auto chirp_samples =
       static_cast<std::size_t>(std::llround(config_.pattern.chirp_duration_s * fs));
   {
@@ -288,28 +415,69 @@ void RangingService::ncc_sample_window(const acoustics::MicUnit& mic, resloc::ma
   }
 }
 
+void RangingService::ncc_sample_window_block(const acoustics::MicUnit& mic,
+                                             resloc::math::Rng& rng,
+                                             RangingScratch& scratch) const {
+  const std::size_t n = window_samples_;
+  const double fs = config_.tdoa.sample_rate_hz;
+  const double frequency_hz = config_.pattern.tone_frequency_hz;
+
+  {
+    RESLOC_SPAN("ranging/synthesis/envelope");
+    rasterize_window_envelope(mic, scratch);
+  }
+
+  const acoustics::ToneTemplateView tpl = scratch.synth.tone_template_view(fs, frequency_hz, n);
+
+  // Same decomposition as the block Goertzel path: noise fill then tone mix,
+  // drawing the identical one-gaussian-per-sample stream the reference
+  // path's fused synthesis loop draws.
+  {
+    RESLOC_SPAN("ranging/synthesis/noise");
+    rng.fill_gaussian_block(scratch.dsp.noise.data(), n);
+  }
+  {
+    RESLOC_SPAN("ranging/synthesis/tone");
+    scratch.audio.resize(n);
+    acoustics::mix_tone_noise_block(scratch.amplitude.data(), tpl.sin_t,
+                                    scratch.dsp.noise.data(), scratch.detector.burst.data(),
+                                    kBurstNoiseSigma, scratch.audio.data(), n);
+  }
+
+  prepare_ncc(scratch);
+  const auto chirp_samples =
+      static_cast<std::size_t>(std::llround(config_.pattern.chirp_duration_s * fs));
+  {
+    RESLOC_SPAN("ranging/detection/ncc");
+    scratch.ncc->detect_into(scratch.audio.data(), n, chirp_samples, tpl,
+                             scratch.dsp.fired.data());
+  }
+}
+
 void RangingService::rasterize_window_envelope(const acoustics::MicUnit& mic,
                                                RangingScratch& scratch) const {
   // Rasterize the audible intervals into a per-sample tone envelope (and the
-  // bursts into a noise-floor flag), the same bracketed sweep the hardware
-  // model uses so all paths share the interval->sample cost profile.
-  RESLOC_SPAN("ranging/synthesis");
+  // bursts into a noise-floor flag) via the same exact contiguous spans the
+  // hardware model uses, so all paths share one interval->sample convention.
   const std::size_t n = window_samples_;
   const double dt = 1.0 / config_.tdoa.sample_rate_hz;
   const acoustics::ReceivedWindow& window = scratch.received;
   scratch.amplitude.assign(n, mic.faulty ? kFaultyMicLeakAmplitude : 0.0);
   for (const acoustics::SignalInterval& s : window.signals) {
     const double amp = amplitude_from_snr_db(s.snr_db);
-    acoustics::for_each_sample_in_interval(
-        window.start_s, dt, n, s.start_s, s.end_s, [&](std::size_t i) {
-          scratch.amplitude[i] = std::max(scratch.amplitude[i], amp);
-        });
+    const acoustics::SampleSpan span =
+        acoustics::interval_sample_span(window.start_s, dt, n, s.start_s, s.end_s);
+    for (std::size_t i = span.lo; i < span.hi; ++i) {
+      scratch.amplitude[i] = std::max(scratch.amplitude[i], amp);
+    }
   }
   scratch.detector.burst.assign(n, 0);
   for (const acoustics::NoiseBurst& b : window.bursts) {
-    acoustics::for_each_sample_in_interval(
-        window.start_s, dt, n, b.start_s, b.end_s,
-        [&](std::size_t i) { scratch.detector.burst[i] = 1; });
+    const acoustics::SampleSpan span =
+        acoustics::interval_sample_span(window.start_s, dt, n, b.start_s, b.end_s);
+    std::fill(scratch.detector.burst.begin() + static_cast<std::ptrdiff_t>(span.lo),
+              scratch.detector.burst.begin() + static_cast<std::ptrdiff_t>(span.hi),
+              std::uint8_t{1});
   }
 }
 

@@ -22,6 +22,7 @@
 
 #include "acoustics/channel.hpp"
 #include "acoustics/chirp_pattern.hpp"
+#include "acoustics/dsp_scratch.hpp"
 #include "acoustics/environment.hpp"
 #include "acoustics/signal_synth.hpp"
 #include "acoustics/tone_detector.hpp"
@@ -111,6 +112,16 @@ struct RangingConfig {
   /// Samples marked per picked NCC peak; must be >= detection.min_detections
   /// for a lone plateau to satisfy the window-density test.
   int ncc_peak_plateau = MatchedFilterNcc::kDefaultPeakPlateau;
+
+  /// Block-DSP measure path (default). Each chirp window runs as staged block
+  /// kernels over contiguous DspScratch buffers -- threshold rasterization +
+  /// lane-split Bernoulli draws (hardware), or envelope/noise/tone synthesis
+  /// blocks feeding a block Goertzel or NCC scan (sampled-audio modes) --
+  /// instead of the detector-owned per-sample loops. Draws the identical RNG
+  /// stream in the identical order and produces bit-equal estimates; set to
+  /// false to run the retained per-sample reference path (the equivalence
+  /// tests in test_dsp_kernels.cpp diff the two).
+  bool block_dsp = true;
 };
 
 /// Diagnostic output of one measurement attempt.
@@ -152,6 +163,8 @@ struct RangingScratch {
   std::vector<double> audio;
   std::optional<MatchedFilterNcc> ncc;
   acoustics::WaveformSynthesizer synth;
+  /// Block-DSP mode only: the contiguous kernel buffers (see dsp_scratch.hpp).
+  acoustics::DspScratch dsp;
 };
 
 /// Simulates ranging sequences for one source/receiver pair.
@@ -174,6 +187,16 @@ class RangingService {
                                 const acoustics::MicUnit& mic, resloc::math::Rng& rng,
                                 RangingScratch& scratch) const;
 
+  /// measure() with the distance-dependent channel response precomputed
+  /// (usually by a sim::ChannelResponseCache). `link` must equal
+  /// acoustics::link_response(true_distance_m, config().environment); the
+  /// result and RNG consumption are then bit-identical to the other
+  /// overloads, which compute the same response inline.
+  std::optional<double> measure(double true_distance_m, const acoustics::SpeakerUnit& speaker,
+                                const acoustics::MicUnit& mic, resloc::math::Rng& rng,
+                                RangingScratch& scratch,
+                                const acoustics::LinkResponse& link) const;
+
   /// Like measure() but returns full diagnostics.
   RangingAttempt measure_with_diagnostics(double true_distance_m,
                                           const acoustics::SpeakerUnit& speaker,
@@ -192,21 +215,42 @@ class RangingService {
  private:
   RangingAttempt measure_impl(double true_distance_m, const acoustics::SpeakerUnit& speaker,
                               const acoustics::MicUnit& mic, resloc::math::Rng& rng,
-                              RangingScratch& scratch, bool want_accumulated) const;
+                              RangingScratch& scratch, const acoustics::LinkResponse* link,
+                              bool want_accumulated) const;
 
-  /// Section 3.7 path: synthesizes the window's sampled audio and runs the
-  /// Goertzel detector; fills scratch.detector_output like the hardware path.
+  /// Section 3.7 path, per-sample reference: synthesizes the window's sampled
+  /// audio and runs the Goertzel detector in one fused loop; fills
+  /// scratch.detector_output like the hardware path.
   void software_sample_window(const acoustics::MicUnit& mic, resloc::math::Rng& rng,
                               RangingScratch& scratch) const;
 
-  /// Matched-filter path: synthesizes the window's sampled audio (same RNG
-  /// draw order as the Goertzel path) and marks NCC-picked chirp onsets.
+  /// Block form of software_sample_window: envelope -> noise -> tone-mix ->
+  /// Goertzel blocks over scratch.dsp, bit-equal output into scratch.dsp.fired.
+  void software_sample_window_block(const acoustics::MicUnit& mic, resloc::math::Rng& rng,
+                                    RangingScratch& scratch) const;
+
+  /// Matched-filter path, per-sample reference: synthesizes the window's
+  /// sampled audio (same RNG draw order as the Goertzel path) and marks
+  /// NCC-picked chirp onsets.
   void ncc_sample_window(const acoustics::MicUnit& mic, resloc::math::Rng& rng,
                          RangingScratch& scratch) const;
 
+  /// Block form of ncc_sample_window, bit-equal marks into scratch.dsp.fired.
+  void ncc_sample_window_block(const acoustics::MicUnit& mic, resloc::math::Rng& rng,
+                               RangingScratch& scratch) const;
+
+  /// Builds or retunes the scratch's cached tone table + Goertzel detector
+  /// for this service and resets the detector for a fresh window.
+  void prepare_goertzel(RangingScratch& scratch) const;
+
+  /// Builds or retunes the scratch's cached NCC scanner for this service.
+  void prepare_ncc(RangingScratch& scratch) const;
+
   /// Shared by both sampled-audio paths: rasterizes the window's signal
   /// intervals into scratch.amplitude and its noise bursts into
-  /// scratch.detector.burst. Consumes no randomness.
+  /// scratch.detector.burst. Consumes no randomness. Callers wrap it in the
+  /// synthesis span of their path ("ranging/synthesis" on the per-sample
+  /// reference, "ranging/synthesis/envelope" on the block path).
   void rasterize_window_envelope(const acoustics::MicUnit& mic, RangingScratch& scratch) const;
 
   RangingConfig config_;

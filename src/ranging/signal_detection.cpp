@@ -3,7 +3,94 @@
 #include <algorithm>
 #include <cassert>
 
+#include "math/simd_dispatch.hpp"
+
+#if RESLOC_X86_SIMD
+#include <immintrin.h>
+#endif
+
 namespace resloc::ranging {
+
+namespace {
+
+#if RESLOC_X86_SIMD
+
+/// AVX-512 saturating 4-bit counter update: 64 counters per iteration. The
+/// fired mask and the < 15 saturation test are byte-mask compares, the
+/// update one masked packed-byte add.
+__attribute__((target("avx512f,avx512bw")))
+void accumulate_fired_avx512(std::uint8_t* s, const std::uint8_t* fired, std::size_t n) {
+  const __m512i one = _mm512_set1_epi8(1);
+  const __m512i fifteen = _mm512_set1_epi8(15);
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m512i sv = _mm512_loadu_si512(s + i);
+    const __mmask64 hit =
+        _mm512_test_epi8_mask(_mm512_loadu_si512(fired + i), _mm512_set1_epi8(-1)) &
+        _mm512_cmplt_epu8_mask(sv, fifteen);
+    _mm512_storeu_si512(s + i, _mm512_mask_add_epi8(sv, hit, sv, one));
+  }
+  for (; i < n; ++i) {
+    s[i] += static_cast<std::uint8_t>((fired[i] != 0) & (s[i] < 15));
+  }
+}
+
+/// AVX-512 fused bernoulli-compare + counter update: eight u64 threshold
+/// compares assemble one 64-bit byte mask, then the same masked add.
+__attribute__((target("avx512f,avx512bw")))
+void accumulate_bernoulli_avx512(std::uint8_t* s, const std::uint64_t* bits,
+                                 const std::uint64_t* thresholds, std::size_t n) {
+  const __m512i one = _mm512_set1_epi8(1);
+  const __m512i fifteen = _mm512_set1_epi8(15);
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    std::uint64_t hit_bits = 0;
+    for (int k = 0; k < 8; ++k) {
+      const __mmask8 lt =
+          _mm512_cmplt_epu64_mask(_mm512_loadu_si512(bits + i + 8 * k),
+                                  _mm512_loadu_si512(thresholds + i + 8 * k));
+      hit_bits |= static_cast<std::uint64_t>(lt) << (8 * k);
+    }
+    const __m512i sv = _mm512_loadu_si512(s + i);
+    const __mmask64 hit = hit_bits & _mm512_cmplt_epu8_mask(sv, fifteen);
+    _mm512_storeu_si512(s + i, _mm512_mask_add_epi8(sv, hit, sv, one));
+  }
+  for (; i < n; ++i) {
+    s[i] += static_cast<std::uint8_t>((bits[i] < thresholds[i]) & (s[i] < 15));
+  }
+}
+
+#endif  // RESLOC_X86_SIMD
+
+/// Saturating 4-bit counter update for a whole chirp window: one byte add
+/// per sample, no branches.
+void accumulate_fired(std::uint8_t* s, const std::uint8_t* fired, std::size_t n) {
+#if RESLOC_X86_SIMD
+  if (resloc::math::cpu_has_avx512_kernels()) {
+    accumulate_fired_avx512(s, fired, n);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i) {
+    s[i] += static_cast<std::uint8_t>((fired[i] != 0) & (s[i] < 15));
+  }
+}
+
+/// Fused bernoulli-compare + saturating counter update.
+void accumulate_bernoulli(std::uint8_t* s, const std::uint64_t* bits,
+                          const std::uint64_t* thresholds, std::size_t n) {
+#if RESLOC_X86_SIMD
+  if (resloc::math::cpu_has_avx512_kernels()) {
+    accumulate_bernoulli_avx512(s, bits, thresholds, n);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i) {
+    s[i] += static_cast<std::uint8_t>((bits[i] < thresholds[i]) & (s[i] < 15));
+  }
+}
+
+}  // namespace
 
 SignalAccumulator::SignalAccumulator(std::size_t num_samples) : samples_(num_samples, 0) {}
 
@@ -19,6 +106,25 @@ void SignalAccumulator::record_chirp(const std::vector<bool>& detector_output) {
   for (std::size_t i = 0; i < samples_.size(); ++i) {
     if (detector_output[i] && samples_[i] < 15) ++samples_[i];
   }
+}
+
+void SignalAccumulator::record_chirp_block(const std::uint8_t* fired, std::size_t n) {
+  assert(n == samples_.size());
+  if (chirps_ >= kMaxChirps) return;  // 4-bit counters are full
+  ++chirps_;
+  accumulate_fired(samples_.data(), fired, n);
+}
+
+void SignalAccumulator::record_chirp_bernoulli(resloc::math::Rng& rng,
+                                               const std::uint64_t* thresholds,
+                                               std::uint64_t* bits_scratch) {
+  const std::size_t n = samples_.size();
+  // The scalar reference draws one bernoulli per sample regardless of whether
+  // the counters are full; keep that draw order so RNG streams stay aligned.
+  rng.fill_uniform_bits_block(bits_scratch, n);
+  if (chirps_ >= kMaxChirps) return;
+  ++chirps_;
+  accumulate_bernoulli(samples_.data(), bits_scratch, thresholds, n);
 }
 
 int detect_signal(const std::vector<std::uint8_t>& samples, const DetectionParams& params) {
@@ -45,6 +151,43 @@ int detect_signal(const std::vector<std::uint8_t>& samples, const DetectionParam
     if (qualifies(start - 1)) --count;
     if (qualifies(start + m - 1)) ++count;
     if (count >= params.min_detections && qualifies(start)) return start;
+  }
+  return -1;
+}
+
+SignalScanner::SignalScanner(const std::vector<std::uint8_t>& samples,
+                             const DetectionParams& params)
+    : samples_(samples), params_(params) {}
+
+int SignalScanner::next() {
+  const int n = static_cast<int>(samples_.size());
+  const int m = params_.window;
+  if (m <= 0) return -1;
+
+  const auto qualifies = [&](int i) {
+    return samples_[static_cast<std::size_t>(i)] >= params_.threshold;
+  };
+
+  // Invariant: whenever primed_, count_ is the number of qualifying samples
+  // in [start_, start_ + m). The count is primed once and slid one position
+  // per examined window -- including across next() boundaries, which is what
+  // makes the whole rejection loop O(n) instead of O(window * rejections).
+  while (start_ + m <= n) {
+    if (!primed_) {
+      count_ = 0;
+      for (int i = start_; i < start_ + m; ++i) {
+        if (qualifies(i)) ++count_;
+      }
+      primed_ = true;
+    }
+    const bool hit = count_ >= params_.min_detections && qualifies(start_);
+    if (start_ + 1 + m <= n) {  // slide to [start_ + 1, start_ + 1 + m)
+      if (qualifies(start_)) --count_;
+      if (qualifies(start_ + m)) ++count_;
+    }
+    const int found = start_;
+    ++start_;
+    if (hit) return found;
   }
   return -1;
 }

@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "math/rng.hpp"
+
 namespace resloc::ranging {
 
 /// Detection thresholds used by detect_signal. Defaults are the calibrated
@@ -34,6 +36,20 @@ class SignalAccumulator {
 
   /// Adds one chirp's binary detector output (must be num_samples long).
   void record_chirp(const std::vector<bool>& detector_output);
+
+  /// record_chirp over a contiguous 0/1 buffer (the block-DSP `fired` lane).
+  /// Same saturation and chirp-cap semantics as the vector<bool> form, with
+  /// a branch-free accumulate the compiler can vectorize.
+  void record_chirp_block(const std::uint8_t* fired, std::size_t n);
+
+  /// Fused Bernoulli-draw + accumulate for the block hardware-detector path:
+  /// draws num_samples uniform 53-bit variates from `rng` (always -- matching
+  /// the scalar path, which consumes RNG even once the 4-bit counters are
+  /// full) into `bits_scratch`, then accumulates fired[i] = bits[i] <
+  /// thresholds[i]. Bit-equal to per-sample rng.bernoulli(p_i) followed by
+  /// record_chirp, because bernoulli(p) is uniform_bits() < bernoulli_threshold(p).
+  void record_chirp_bernoulli(resloc::math::Rng& rng, const std::uint64_t* thresholds,
+                              std::uint64_t* bits_scratch);
 
   /// Zeroes the counters (and resizes to `num_samples`) so one accumulator
   /// can be reused across a campaign's pairs without reallocating.
@@ -67,6 +83,30 @@ int detect_signal(const std::vector<std::uint8_t>& samples, const DetectionParam
 /// used to re-scan past a candidate rejected by pattern verification.
 int detect_signal(const std::vector<std::uint8_t>& samples, const DetectionParams& params,
                   int start_index);
+
+/// Resumable detect_signal: one pass over the accumulated buffer that yields
+/// successive candidate indices without re-priming the sliding count. Each
+/// next() call returns the same index the equivalent restart-based scan
+/// `detect_signal(samples, params, prev + 1)` would -- window qualification
+/// at a given start position depends only on the buffer, not on scan history
+/// -- but the whole rejection loop costs O(n) total instead of
+/// O(window * rejections). The referenced buffer must outlive the scanner
+/// and stay unmodified between next() calls.
+class SignalScanner {
+ public:
+  SignalScanner(const std::vector<std::uint8_t>& samples, const DetectionParams& params);
+
+  /// Next candidate start index at or after the previous result + 1
+  /// (first call: at or after 0), or -1 once exhausted.
+  int next();
+
+ private:
+  const std::vector<std::uint8_t>& samples_;
+  DetectionParams params_;
+  int start_ = 0;   ///< next window start to examine
+  int count_ = 0;   ///< qualifying samples in [start_, start_ + window)
+  bool primed_ = false;
+};
 
 /// Pattern verification (Section 3.5): the emitted pattern is chirps preceded
 /// by silence, so a genuine detection at `index` must be preceded by a quiet

@@ -1,0 +1,76 @@
+#include "sim/channel_cache.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "obs/telemetry.hpp"
+
+namespace resloc::sim {
+
+namespace {
+
+/// SplitMix64 finalizer: the avalanche stage spreads the quantized cell index
+/// across the table.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Distance-cell key: 1 mm cells. Distances within one cell share a hash and
+/// resolve by the exact-distance compare + linear probe; the quantization
+/// only exists so near-identical distances (both directions of a link, grid
+/// symmetries) land in predictable cells.
+std::uint64_t cell_of(double distance_m) {
+  return static_cast<std::uint64_t>(std::llround(distance_m * 1000.0));
+}
+
+std::size_t round_up_pow2(std::size_t x) {
+  std::size_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+/// Probes before giving up and evicting the home slot. Collisions beyond this
+/// mean the table is saturated; eviction keeps lookups O(1) either way.
+constexpr std::size_t kMaxProbe = 8;
+
+}  // namespace
+
+ChannelResponseCache::ChannelResponseCache(const acoustics::EnvironmentProfile& env,
+                                           std::size_t capacity)
+    : env_(env), table_(round_up_pow2(capacity < 2 ? 2 : capacity)), mask_(table_.size() - 1) {}
+
+const acoustics::LinkResponse& ChannelResponseCache::lookup(double distance_m) {
+  const std::size_t home = static_cast<std::size_t>(mix64(cell_of(distance_m))) & mask_;
+  std::size_t slot = home;
+  for (std::size_t probe = 0; probe < kMaxProbe; ++probe, slot = (slot + 1) & mask_) {
+    Entry& e = table_[slot];
+    if (!e.occupied) {
+      ++misses_;
+      obs::add(obs::Counter::kChannelCacheMisses);
+      e.occupied = true;
+      e.distance_m = distance_m;
+      e.link = acoustics::link_response(distance_m, env_);
+      return e.link;
+    }
+    // Bitwise equality, not ==: the key must reproduce the exact double the
+    // response was computed from (and -0.0 vs 0.0 must not alias).
+    if (std::memcmp(&e.distance_m, &distance_m, sizeof(double)) == 0) {
+      ++hits_;
+      obs::add(obs::Counter::kChannelCacheHits);
+      return e.link;
+    }
+  }
+  // Saturated neighborhood: recompute into the home slot.
+  ++misses_;
+  obs::add(obs::Counter::kChannelCacheMisses);
+  Entry& e = table_[home];
+  e.occupied = true;
+  e.distance_m = distance_m;
+  e.link = acoustics::link_response(distance_m, env_);
+  return e.link;
+}
+
+}  // namespace resloc::sim

@@ -1,0 +1,61 @@
+// Channel-response cache for campaign measurement loops.
+//
+// Every measure() needs the distance-dependent channel response -- spreading
+// loss (a log10), excess attenuation, travel time (acoustics::LinkResponse).
+// A campaign asks for the same link distances over and over: every round
+// revisits every in-range pair, and both directions of a link share one
+// distance. This cache memoizes link_response() per distance so the log10 is
+// paid once per distinct link instead of once per measure.
+//
+// Correctness contract: the cache NEVER changes values. Entries are keyed by
+// a quantized distance cell for hashing but store the exact distance double;
+// a lookup returns a cached response only when the stored distance compares
+// bitwise-equal to the query, otherwise it recomputes (and caches) the exact
+// response. A hash collision or table-full eviction therefore costs time,
+// never accuracy -- cached and uncached campaigns are byte-identical.
+//
+// Lifetime contract: a cache is bound to one EnvironmentProfile (the caller
+// constructs it per trial, which is also the invalidation point -- trials may
+// perturb the environment) and is owned by one worker thread, next to its
+// RangingScratch. It is reused across every round and turn of the trial.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "acoustics/channel.hpp"
+#include "acoustics/environment.hpp"
+
+namespace resloc::sim {
+
+class ChannelResponseCache {
+ public:
+  /// `capacity` is rounded up to a power of two; the table never grows, so
+  /// pathological distance sets degrade to evictions, not allocation.
+  explicit ChannelResponseCache(const acoustics::EnvironmentProfile& env,
+                                std::size_t capacity = 2048);
+
+  /// The channel response for `distance_m`, from cache when an exact-distance
+  /// entry exists, recomputed (and inserted) otherwise. The returned
+  /// reference is valid until the next lookup() call.
+  const acoustics::LinkResponse& lookup(double distance_m);
+
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    bool occupied = false;
+    double distance_m = 0.0;  ///< exact key; bitwise compare on lookup
+    acoustics::LinkResponse link;
+  };
+
+  const acoustics::EnvironmentProfile& env_;
+  std::vector<Entry> table_;
+  std::size_t mask_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace resloc::sim

@@ -10,6 +10,7 @@
 
 #include "math/grid_pairs.hpp"
 #include "obs/telemetry.hpp"
+#include "sim/channel_cache.hpp"
 
 namespace resloc::sim {
 
@@ -128,7 +129,8 @@ FieldExperimentData run_field_experiment(const resloc::core::Deployment& deploym
       config.rounds > 0 ? static_cast<std::size_t>(config.rounds) * n : 0;
   std::vector<std::vector<TurnEstimate>> turns(num_turns);
 
-  const auto run_turn = [&](std::size_t turn, resloc::ranging::RangingScratch& scratch) {
+  const auto run_turn = [&](std::size_t turn, resloc::ranging::RangingScratch& scratch,
+                            ChannelResponseCache& channel_cache) {
     obs::add(obs::Counter::kCampaignTurns);
     const auto source = static_cast<NodeId>(turn % n);
     resloc::math::Rng stream = measurement_base.fork(turn);  // == round * n + source
@@ -141,7 +143,14 @@ FieldExperimentData run_field_experiment(const resloc::core::Deployment& deploym
               ? shadowing[source * n + receiver]
               : link_shadowing_db(shadow_base, source, receiver, n,
                                   config.link_shadowing_stddev_db);
-      const auto estimate = service.measure(true_d, speaker, mics[receiver], stream, scratch);
+      // The distance-dependent channel response comes from the per-worker
+      // cache: every round revisits the same link distances, so the log10
+      // spreading term is paid once per distinct distance per trial. The
+      // cache only ever returns bitwise-exact matches, so estimates are
+      // byte-identical to the uncached path.
+      const acoustics::LinkResponse& link = channel_cache.lookup(true_d);
+      const auto estimate =
+          service.measure(true_d, speaker, mics[receiver], stream, scratch, link);
       if (estimate) out.push_back({receiver, true_d, *estimate});
     };
     if (config.dense_pair_scan) {
@@ -164,20 +173,25 @@ FieldExperimentData run_field_experiment(const resloc::core::Deployment& deploym
       std::max<std::size_t>(num_turns, 1));
   if (threads <= 1) {
     // One scratch serves every pair: the per-sequence buffers are sized by
-    // the service's window and reused across the whole campaign.
+    // the service's window and reused across the whole campaign. The channel
+    // cache lives next to it and dies with the trial (its invalidation
+    // point -- trials may perturb the environment).
     resloc::ranging::RangingScratch scratch;
-    for (std::size_t turn = 0; turn < num_turns; ++turn) run_turn(turn, scratch);
+    ChannelResponseCache channel_cache(config.ranging.environment);
+    for (std::size_t turn = 0; turn < num_turns; ++turn)
+      run_turn(turn, scratch, channel_cache);
   } else {
     std::atomic<std::size_t> cursor{0};
     std::exception_ptr first_error;
     std::mutex error_mutex;
     const auto worker = [&]() {
       resloc::ranging::RangingScratch scratch;
+      ChannelResponseCache channel_cache(config.ranging.environment);
       try {
         for (;;) {
           const std::size_t turn = cursor.fetch_add(1, std::memory_order_relaxed);
           if (turn >= num_turns) return;
-          run_turn(turn, scratch);
+          run_turn(turn, scratch, channel_cache);
         }
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);

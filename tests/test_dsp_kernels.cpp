@@ -1,0 +1,421 @@
+// Bit-equality tests for the block-DSP kernels of the measure path.
+//
+// Every block kernel has a retained per-sample reference (the pre-refactor
+// loop); these tests drive both over the same inputs and the same RNG stream
+// and require last-ulp identical outputs AND identical post-call generator
+// state, at odd block sizes, partial tails, and window-boundary offsets. The
+// capstone test diffs RangingService end to end with block_dsp on vs off for
+// all three detector front ends.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "acoustics/channel.hpp"
+#include "acoustics/environment.hpp"
+#include "acoustics/propagation.hpp"
+#include "acoustics/signal_synth.hpp"
+#include "acoustics/tone_detector.hpp"
+#include "acoustics/units.hpp"
+#include "math/rng.hpp"
+#include "ranging/dft_detector.hpp"
+#include "ranging/matched_filter.hpp"
+#include "ranging/ranging_service.hpp"
+#include "ranging/signal_detection.hpp"
+#include "sim/channel_cache.hpp"
+
+namespace {
+
+using resloc::math::Rng;
+namespace acoustics = resloc::acoustics;
+namespace ranging = resloc::ranging;
+
+// Sizes chosen to cross the 4-draw quad stride of fill_uniform_bits_block and
+// the Goertzel 256-step resync period, plus odd/partial-tail cases.
+const std::size_t kBlockSizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 31, 36, 100, 255, 256, 257, 1163};
+
+TEST(RngBlocks, UniformBitsBlockMatchesSequential) {
+  for (std::size_t n : kBlockSizes) {
+    Rng a(0x1234u + n, 7);
+    Rng b(0x1234u + n, 7);
+    std::vector<std::uint64_t> block(n, 0);
+    a.fill_uniform_bits_block(block.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(block[i], b.uniform_bits()) << "n=" << n << " i=" << i;
+    }
+    // Post-call state: the next draws must agree too.
+    for (int i = 0; i < 8; ++i) ASSERT_EQ(a.uniform_bits(), b.uniform_bits());
+  }
+}
+
+TEST(RngBlocks, GaussianBlockMatchesSequentialIncludingCachedHalf) {
+  for (std::size_t n : kBlockSizes) {
+    for (int warmup = 0; warmup < 2; ++warmup) {
+      Rng a(0x9e3779b9u, 3 + n);
+      Rng b(0x9e3779b9u, 3 + n);
+      if (warmup) {
+        // Leave a Box-Muller cached second normal pending before the block.
+        const double wa = a.gaussian();
+        const double wb = b.gaussian();
+        ASSERT_EQ(wa, wb);
+      }
+      std::vector<double> block(n, 0.0);
+      a.fill_gaussian_block(block.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double expect = b.gaussian(0.0, 1.0);
+        ASSERT_EQ(std::memcmp(&block[i], &expect, sizeof(double)), 0)
+            << "n=" << n << " warmup=" << warmup << " i=" << i;
+      }
+      for (int i = 0; i < 4; ++i) ASSERT_EQ(a.gaussian(), b.gaussian());
+    }
+  }
+}
+
+TEST(RngBlocks, BernoulliThresholdSplitsExactlyLikeUniformCompare) {
+  const double probs[] = {0.0, 1e-300, 1e-17, 0.003, 0.15, 0.5,
+                          0.78342, 1.0 - 1e-16, 1.0, 1.5, -0.2};
+  for (double p : probs) {
+    const std::uint64_t t = Rng::bernoulli_threshold(p);
+    Rng a(42, 9);
+    Rng b(42, 9);
+    for (int i = 0; i < 2000; ++i) {
+      ASSERT_EQ(b.uniform_bits() < t, a.bernoulli(p)) << "p=" << p;
+    }
+  }
+}
+
+TEST(IntervalSampleSpan, MatchesPerSamplePredicate) {
+  Rng rng(7, 1);
+  const double dt = 1.0 / 16000.0;
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 400));
+    const double window_start = rng.uniform(-1.0, 1.0);
+    // Mix of random intervals and intervals snapped near sample boundaries.
+    double start = window_start + rng.uniform(-5.0, 400.0) * dt;
+    double end = start + rng.uniform(-2.0, 300.0) * dt;
+    if (trial % 3 == 0) {
+      start = window_start + static_cast<double>(rng.uniform_int(-2, 400)) * dt;
+      end = start + static_cast<double>(rng.uniform_int(0, 64)) * dt;
+    }
+    const acoustics::SampleSpan span =
+        acoustics::interval_sample_span(window_start, dt, n, start, end);
+    std::size_t expect_lo = n, expect_hi = n;
+    bool any = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double t = window_start + static_cast<double>(i) * dt;
+      const bool inside = t >= start && t < end;
+      if (inside && !any) {
+        expect_lo = i;
+        any = true;
+      }
+      if (inside) expect_hi = i + 1;
+      if (any) {
+        // The span must be contiguous: no gap then re-entry.
+        ASSERT_TRUE(inside || i >= expect_hi);
+      }
+    }
+    if (!any) {
+      EXPECT_EQ(span.lo, span.hi) << "trial=" << trial;
+    } else {
+      EXPECT_EQ(span.lo, expect_lo) << "trial=" << trial;
+      EXPECT_EQ(span.hi, expect_hi) << "trial=" << trial;
+    }
+  }
+}
+
+/// A synthetic received window with overlapping signals, bursts, and edges
+/// crossing the window boundaries.
+acoustics::ReceivedWindow synthetic_window(Rng& rng, double window_start_s, std::size_t n,
+                                           double dt) {
+  acoustics::ReceivedWindow w;
+  w.start_s = window_start_s;
+  w.duration_s = static_cast<double>(n) * dt;
+  const int signals = static_cast<int>(rng.uniform_int(0, 6));
+  for (int i = 0; i < signals; ++i) {
+    const double s = window_start_s + rng.uniform(-30.0, static_cast<double>(n)) * dt;
+    const double e = s + rng.uniform(0.0, 200.0) * dt;
+    w.signals.push_back({s, e, rng.uniform(-10.0, 30.0)});
+  }
+  const int bursts = static_cast<int>(rng.uniform_int(0, 3));
+  for (int i = 0; i < bursts; ++i) {
+    const double s = window_start_s + rng.uniform(-10.0, static_cast<double>(n)) * dt;
+    w.bursts.push_back({s, s + rng.uniform(0.0, 80.0) * dt});
+  }
+  return w;
+}
+
+TEST(HardwareBlock, ThresholdsPlusBernoulliMatchSampleWindow) {
+  const acoustics::EnvironmentProfile env = acoustics::EnvironmentProfile::grass();
+  const acoustics::ToneDetectorModel detector(env);
+  const double dt = detector.sample_period_s();
+  Rng gen(0xFEED, 5);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(gen.uniform_int(1, 700));
+    acoustics::MicUnit mic;
+    mic.sensitivity_db = gen.uniform(-3.0, 3.0);
+    mic.faulty = trial % 5 == 0;
+    const double window_start = gen.uniform(-0.05, 0.05);
+    const acoustics::ReceivedWindow w = synthetic_window(gen, window_start, n, dt);
+
+    // Reference: the per-sample detector loop.
+    Rng ref_rng(1000 + trial, 11);
+    acoustics::DetectorScratch ref_scratch;
+    std::vector<bool> ref_out;
+    detector.sample_window_into(w, n, mic, ref_rng, ref_scratch, ref_out);
+    ranging::SignalAccumulator ref_acc(n);
+    ref_acc.record_chirp(ref_out);
+
+    // Block: thresholds + fused draw/accumulate.
+    Rng blk_rng(1000 + trial, 11);
+    acoustics::DetectorScratch blk_scratch;
+    std::vector<std::uint64_t> thresholds(n), bits(n);
+    detector.fire_thresholds_block(w, n, mic, blk_scratch, thresholds.data());
+    ranging::SignalAccumulator blk_acc(n);
+    blk_acc.record_chirp_bernoulli(blk_rng, thresholds.data(), bits.data());
+
+    ASSERT_EQ(blk_acc.samples(), ref_acc.samples()) << "trial=" << trial;
+    ASSERT_EQ(blk_rng.uniform_bits(), ref_rng.uniform_bits()) << "trial=" << trial;
+  }
+}
+
+TEST(HardwareBlock, BernoulliDrawsEvenWhenCountersFull) {
+  // The scalar path consumes RNG for every chirp past kMaxChirps; the fused
+  // block accumulate must too, or streams desynchronize at chirp 16.
+  const std::size_t n = 37;
+  std::vector<std::uint64_t> thresholds(n, Rng::bernoulli_threshold(0.5));
+  std::vector<std::uint64_t> bits(n);
+  Rng a(5, 1), b(5, 1);
+  ranging::SignalAccumulator acc(n);
+  for (int chirp = 0; chirp < ranging::SignalAccumulator::kMaxChirps + 4; ++chirp) {
+    acc.record_chirp_bernoulli(a, thresholds.data(), bits.data());
+  }
+  for (int chirp = 0; chirp < ranging::SignalAccumulator::kMaxChirps + 4; ++chirp) {
+    for (std::size_t i = 0; i < n; ++i) b.uniform_bits();
+  }
+  EXPECT_EQ(acc.chirps_recorded(), ranging::SignalAccumulator::kMaxChirps);
+  EXPECT_EQ(a.uniform_bits(), b.uniform_bits());
+}
+
+TEST(RecordChirpBlock, MatchesVectorBoolForm) {
+  Rng rng(99, 2);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 300));
+    ranging::SignalAccumulator a(n), b(n);
+    for (int chirp = 0; chirp < 18; ++chirp) {
+      std::vector<bool> bools(n);
+      std::vector<std::uint8_t> bytes(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const bool fired = rng.bernoulli(0.4);
+        bools[i] = fired;
+        bytes[i] = fired ? 1 : 0;
+      }
+      a.record_chirp(bools);
+      b.record_chirp_block(bytes.data(), n);
+    }
+    ASSERT_EQ(a.samples(), b.samples());
+    ASSERT_EQ(a.chirps_recorded(), b.chirps_recorded());
+  }
+}
+
+TEST(GoertzelBlock, RunBlockMatchesStepAcrossResync) {
+  // n > kResyncPeriod so the in-step exact resync happens mid-block.
+  for (std::size_t n : {1u, 36u, 255u, 256u, 257u, 700u}) {
+    Rng rng(3 + n, 4);
+    std::vector<double> x(n);
+    for (double& v : x) v = rng.gaussian(0.0, 1.0) + 0.5 * rng.uniform();
+    ranging::GoertzelToneDetector blk(4300.0, 16000.0);
+    ranging::GoertzelToneDetector ref(4300.0, 16000.0);
+    std::vector<double> metric(n, 0.0);
+    blk.run_block(x.data(), n, metric.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      const double expect = ref.step(x[i]);
+      ASSERT_EQ(std::memcmp(&metric[i], &expect, sizeof(double)), 0)
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(MixKernel, MatchesFusedFormula) {
+  Rng rng(17, 6);
+  const std::size_t n = 513;
+  std::vector<double> amplitude(n), tone(n), noise(n), out(n);
+  std::vector<std::uint8_t> burst(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    amplitude[i] = rng.uniform(0.0, 8.0);
+    tone[i] = rng.uniform(-1.0, 1.0);
+    noise[i] = rng.gaussian();
+    burst[i] = rng.bernoulli(0.3) ? 1 : 0;
+  }
+  acoustics::mix_tone_noise_block(amplitude.data(), tone.data(), noise.data(), burst.data(),
+                                  4.0, out.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double sigma = burst[i] != 0 ? 4.0 : 1.0;
+    const double expect = amplitude[i] * tone[i] + sigma * noise[i];
+    ASSERT_EQ(std::memcmp(&out[i], &expect, sizeof(double)), 0) << i;
+  }
+}
+
+TEST(MatchedFilterBlock, ByteMarksMatchBoolMarks) {
+  Rng rng(23, 8);
+  acoustics::WaveformSynthesizer synth;
+  ranging::MatchedFilterNcc filt;
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(64, 900));
+    const std::size_t chirp = 128;
+    const acoustics::ToneTemplateView tpl = synth.tone_template_view(16000.0, 4300.0, n);
+    std::vector<double> x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool in_chirp = i >= n / 3 && i < n / 3 + chirp;
+      x[i] = (in_chirp ? 3.0 * tpl.sin_t[i] : 0.0) + rng.gaussian();
+    }
+    std::vector<bool> bool_marks;
+    filt.detect_into(x.data(), n, chirp, tpl, bool_marks);
+    std::vector<std::uint8_t> byte_marks(n, 0xCC);
+    filt.detect_into(x.data(), n, chirp, tpl, byte_marks.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(byte_marks[i] != 0, static_cast<bool>(bool_marks[i]))
+          << "trial=" << trial << " i=" << i;
+    }
+  }
+}
+
+TEST(SignalScanner, YieldsSameCandidatesAsRestartScan) {
+  Rng rng(31, 12);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(0, 300));
+    std::vector<std::uint8_t> samples(n);
+    for (auto& s : samples) s = static_cast<std::uint8_t>(rng.uniform_int(0, 4));
+    ranging::DetectionParams params;
+    params.threshold = static_cast<int>(rng.uniform_int(1, 3));
+    params.window = static_cast<int>(rng.uniform_int(1, 40));
+    params.min_detections = static_cast<int>(rng.uniform_int(1, params.window));
+    ranging::SignalScanner scanner(samples, params);
+    int expect = ranging::detect_signal(samples, params, 0);
+    int guard = 0;
+    for (;;) {
+      const int got = scanner.next();
+      ASSERT_EQ(got, expect) << "trial=" << trial;
+      if (got < 0) break;
+      expect = ranging::detect_signal(samples, params, got + 1);
+      ASSERT_LT(++guard, 1000);
+    }
+    // Exhausted scanners stay exhausted.
+    EXPECT_EQ(scanner.next(), -1);
+  }
+}
+
+TEST(ChannelCache, ReturnsBitwiseIdenticalResponses) {
+  const acoustics::EnvironmentProfile env = acoustics::EnvironmentProfile::grass();
+  resloc::sim::ChannelResponseCache cache(env, 64);
+  Rng rng(41, 3);
+  std::vector<double> distances;
+  for (int i = 0; i < 500; ++i) {
+    // Revisit earlier distances to exercise hits; include sub-reference and
+    // same-cell-different-value collisions.
+    double d;
+    if (!distances.empty() && rng.bernoulli(0.5)) {
+      d = distances[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(distances.size()) - 1))];
+    } else {
+      d = rng.uniform(0.0, 40.0);
+      if (rng.bernoulli(0.1)) d = rng.uniform(0.0, 0.2);
+      distances.push_back(d);
+    }
+    const acoustics::LinkResponse got = cache.lookup(d);
+    const acoustics::LinkResponse expect = acoustics::link_response(d, env);
+    ASSERT_EQ(std::memcmp(&got, &expect, sizeof(acoustics::LinkResponse)), 0) << "d=" << d;
+  }
+  EXPECT_GT(cache.hits(), 0u);
+  EXPECT_GT(cache.misses(), 0u);
+}
+
+TEST(LinkResponse, RecomposesSnrBitExactly) {
+  const acoustics::EnvironmentProfile env = acoustics::EnvironmentProfile::grass();
+  Rng rng(53, 9);
+  for (int i = 0; i < 2000; ++i) {
+    const double d = i % 7 == 0 ? rng.uniform(0.0, 0.15) : rng.uniform(0.0, 60.0);
+    const double source_db = rng.uniform(80.0, 110.0);
+    const double sens_db = rng.uniform(-3.0, 3.0);
+    const acoustics::LinkResponse link = acoustics::link_response(d, env);
+    const double recomposed =
+        (((source_db - link.spreading_db) - link.excess_db) + sens_db) - env.noise_floor_db;
+    const double expect = acoustics::snr_db(source_db, d, sens_db, env);
+    ASSERT_EQ(std::memcmp(&recomposed, &expect, sizeof(double)), 0) << "d=" << d;
+  }
+}
+
+/// End-to-end: RangingService with block_dsp on vs off must agree on every
+/// diagnostic field and leave the generator in the identical state, for all
+/// three detector front ends.
+void expect_service_equivalence(ranging::DetectorMode mode) {
+  ranging::RangingConfig cfg;
+  cfg.detector_mode = mode;
+  cfg.max_window_range_m = 22.0;
+  cfg.block_dsp = false;
+  const ranging::RangingService reference(cfg);
+  cfg.block_dsp = true;
+  const ranging::RangingService block(cfg);
+
+  Rng unit_rng(61, 2);
+  const acoustics::UnitVariationModel units;
+  for (int trial = 0; trial < 12; ++trial) {
+    acoustics::SpeakerUnit speaker = units.sample_speaker(acoustics::kLoudspeakerDb, unit_rng);
+    acoustics::MicUnit mic = units.sample_mic(unit_rng);
+    if (trial == 5) mic.faulty = true;   // exercise the faulty-mic branches
+    if (trial == 7) speaker.faulty = true;
+    const double d = 0.5 + 1.7 * trial;
+
+    Rng ref_rng(900 + trial, 21);
+    Rng blk_rng(900 + trial, 21);
+    const ranging::RangingAttempt a =
+        reference.measure_with_diagnostics(d, speaker, mic, ref_rng);
+    const ranging::RangingAttempt b = block.measure_with_diagnostics(d, speaker, mic, blk_rng);
+
+    ASSERT_EQ(a.distance_m.has_value(), b.distance_m.has_value()) << "trial=" << trial;
+    if (a.distance_m) {
+      ASSERT_EQ(std::memcmp(&*a.distance_m, &*b.distance_m, sizeof(double)), 0)
+          << "trial=" << trial;
+    }
+    ASSERT_EQ(a.detection_index, b.detection_index) << "trial=" << trial;
+    ASSERT_EQ(a.rejected_detections, b.rejected_detections) << "trial=" << trial;
+    ASSERT_EQ(a.accumulated, b.accumulated) << "trial=" << trial;
+    ASSERT_EQ(ref_rng.uniform_bits(), blk_rng.uniform_bits()) << "trial=" << trial;
+    ASSERT_EQ(ref_rng.gaussian(), blk_rng.gaussian()) << "trial=" << trial;
+  }
+}
+
+TEST(RangingServiceBlockEquivalence, Hardware) {
+  expect_service_equivalence(ranging::DetectorMode::kHardware);
+}
+
+TEST(RangingServiceBlockEquivalence, Goertzel) {
+  expect_service_equivalence(ranging::DetectorMode::kGoertzel);
+}
+
+TEST(RangingServiceBlockEquivalence, MatchedFilter) {
+  expect_service_equivalence(ranging::DetectorMode::kMatchedFilter);
+}
+
+TEST(RangingServiceBlockEquivalence, PrecomputedLinkMatchesInline) {
+  ranging::RangingConfig cfg;
+  cfg.max_window_range_m = 22.0;
+  const ranging::RangingService service(cfg);
+  const acoustics::SpeakerUnit speaker;
+  const acoustics::MicUnit mic;
+  for (int trial = 0; trial < 8; ++trial) {
+    const double d = 0.3 + 2.3 * trial;
+    Rng r1(70 + trial, 1), r2(70 + trial, 1);
+    ranging::RangingScratch s1, s2;
+    const auto inline_est = service.measure(d, speaker, mic, r1, s1);
+    const acoustics::LinkResponse link = acoustics::link_response(d, cfg.environment);
+    const auto cached_est = service.measure(d, speaker, mic, r2, s2, link);
+    ASSERT_EQ(inline_est.has_value(), cached_est.has_value());
+    if (inline_est) {
+      ASSERT_EQ(std::memcmp(&*inline_est, &*cached_est, sizeof(double)), 0);
+    }
+    ASSERT_EQ(r1.uniform_bits(), r2.uniform_bits());
+  }
+}
+
+}  // namespace
