@@ -24,6 +24,7 @@
 #include "acoustics/units.hpp"
 #include "eval/aggregate.hpp"
 #include "eval/report.hpp"
+#include "fault/fault_plan.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace_export.hpp"
 #include "ranging/ranging_service.hpp"
@@ -262,13 +263,50 @@ std::map<std::string, NamedSweep> sweep_catalog() {
     spec.axes.detectors = {"hardware", "goertzel", "ncc"};
     catalog["detectors_smoke"] = {"one cell per detector mode (3 trials, CI)", spec};
   }
+  {  // Resilience sweep: the full acoustic campaign under injected faults,
+     // fault kind x intensity x solver. Coverage (placement over ALL
+     // attempted trials), degraded-fix rate, and the failure-reason taxonomy
+     // are the headline aggregates; degraded multilateration fixes are
+     // enabled so a 2-anchor node reports a flagged estimate instead of
+     // nothing, and one bounded retry absorbs transient trial failures.
+    SweepSpec spec;
+    spec.name = "resilience";
+    spec.base.source = MeasurementSource::kAcousticRanging;
+    spec.trials_per_cell = 2;
+    spec.max_trial_retries = 1;
+    spec.axes.scenarios = {"grass_grid"};
+    spec.axes.node_counts = {25};
+    spec.axes.anchor_counts = {8};
+    spec.axes.solvers = {Solver::kMultilateration, Solver::kCentralizedLss};
+    spec.axes.fault_kinds = resloc::fault::fault_kind_names();
+    spec.axes.fault_intensities = {0.5, 1.0, 2.0};
+    spec.base.multilateration.allow_degraded = true;
+    catalog["resilience"] = {
+        "acoustic campaign under fault injection: kind x intensity x solver (54 cells)", spec};
+  }
+  {  // Four-kind cut of 'resilience' for CI: the 1-vs-8-thread byte-identity
+     // check under active fault injection runs on exactly these cells.
+    SweepSpec spec;
+    spec.name = "resilience_smoke";
+    spec.base.source = MeasurementSource::kAcousticRanging;
+    spec.trials_per_cell = 1;
+    spec.max_trial_retries = 1;
+    spec.axes.scenarios = {"grass_grid"};
+    spec.axes.node_counts = {16};
+    spec.axes.anchor_counts = {6};
+    spec.axes.solvers = {Solver::kMultilateration, Solver::kCentralizedLss};
+    spec.axes.fault_kinds = {"none", "node_crash", "corrupt_distance", "all"};
+    spec.base.multilateration.allow_degraded = true;
+    catalog["resilience_smoke"] = {
+        "solver x {none, node_crash, corrupt_distance, all} faults (8 trials, CI)", spec};
+  }
   return catalog;
 }
 
 void print_usage() {
   std::puts(
       "usage: resloc_campaign [--sweep NAME] [--threads N] [--seed S]\n"
-      "                       [--campaign-threads N] [--trials K]\n"
+      "                       [--campaign-threads N] [--trials K] [--retries R]\n"
       "                       [--json PATH] [--csv PATH]\n"
       "                       [--trace PATH] [--metrics PATH]\n"
       "                       [--robust-filters on|off] [--list]\n"
@@ -282,6 +320,10 @@ void print_usage() {
       "                 (the per-trial measurement loop); byte-identical\n"
       "                 aggregates at any value (default: 1)\n"
       "  --trials K     override the sweep's trials-per-cell\n"
+      "  --retries R    override the sweep's bounded per-trial retries (a\n"
+      "                 failed trial reruns on a fresh deterministic\n"
+      "                 substream up to R times; default: sweep-specific,\n"
+      "                 0 for most sweeps, 1 for the resilience sweeps)\n"
       "  --json PATH    write the deterministic JSON aggregate report\n"
       "  --csv PATH     write the deterministic per-cell CSV table\n"
       "  --trace PATH   record telemetry spans and write a Chrome trace-event\n"
@@ -321,6 +363,8 @@ int main(int argc, char** argv) {
   std::uint64_t threads = 0;
   std::uint64_t campaign_threads = 0;
   std::uint64_t trials_override = 0;
+  std::uint64_t retries = 0;
+  bool retries_set = false;
   int robust_filters = -1;  // -1 = sweep default, 0 = off, 1 = on
   bool list = false;
 
@@ -380,6 +424,12 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: --trials expects an integer in [1, 1000000]\n");
         return 2;
       }
+    } else if (arg == "--retries") {
+      if (!parse_u64(need_value("--retries"), retries) || retries > 100) {
+        std::fprintf(stderr, "error: --retries expects an integer in [0, 100]\n");
+        return 2;
+      }
+      retries_set = true;
     } else {
       std::fprintf(stderr, "error: unknown argument '%s'\n", arg.c_str());
       print_usage();
@@ -424,6 +474,7 @@ int main(int argc, char** argv) {
   SweepSpec spec = it->second.spec;
   spec.seed = seed;
   if (trials_override != 0) spec.trials_per_cell = static_cast<std::size_t>(trials_override);
+  if (retries_set) spec.max_trial_retries = static_cast<std::size_t>(retries);
   if (campaign_threads != 0) {
     // Intra-trial parallelism of the acoustic measurement loop; a no-op for
     // synthetic sweeps. Determinism is unconditional (every (round, source)
@@ -448,17 +499,39 @@ int main(int argc, char** argv) {
   const CampaignResult result = runner.run(spec);
 
   std::size_t ok = 0;
-  for (const auto& t : result.trials) ok += t.ok ? 1u : 0u;
-  std::printf("sweep '%s': %zu cells, %zu trials (%zu ok), seed %llu, %u threads, %.2f s\n\n",
+  std::size_t total_retries = 0;
+  for (const auto& t : result.trials) {
+    ok += t.ok ? 1u : 0u;
+    total_retries += t.attempts > 0 ? t.attempts - 1 : 0;
+  }
+  std::printf("sweep '%s': %zu cells, %zu trials (%zu ok), seed %llu, %u threads, %.2f s\n",
               spec.name.c_str(), result.cells.size(), result.trials.size(), ok,
               static_cast<unsigned long long>(result.seed), result.threads_used,
               result.wall_time_s);
+  if (spec.max_trial_retries > 0) {
+    std::printf("retries: %zu used (budget %zu per trial)\n", total_retries,
+                spec.max_trial_retries);
+  }
+  std::printf("\n");
 
   if (ok < result.trials.size()) {
-    // Surface each distinct failure reason once so a fully failed campaign
-    // is diagnosable from the console.
-    std::fprintf(stderr, "warning: %zu of %zu trials failed:\n",
+    // Failure-reason taxonomy breakdown: which stage the failed trials died
+    // in (see eval::FailureReason), then each distinct message once, so a
+    // fully failed campaign is diagnosable from the console.
+    std::size_t by_reason[resloc::eval::kFailureReasonCount] = {};
+    for (const auto& t : result.trials) {
+      if (!t.ok) ++by_reason[static_cast<std::size_t>(t.failure)];
+    }
+    std::fprintf(stderr, "warning: %zu of %zu trials failed (by stage:",
                  result.trials.size() - ok, result.trials.size());
+    for (std::size_t r = 0; r < resloc::eval::kFailureReasonCount; ++r) {
+      if (by_reason[r] == 0) continue;
+      std::fprintf(stderr, " %s=%zu",
+                   resloc::eval::failure_reason_name(
+                       static_cast<resloc::eval::FailureReason>(r)),
+                   by_reason[r]);
+    }
+    std::fprintf(stderr, "):\n");
     std::set<std::string> reasons;
     for (const auto& t : result.trials) {
       if (!t.ok && reasons.insert(t.error).second) {

@@ -202,6 +202,7 @@ LssResult run(const MeasurementSet& measurements, std::vector<double> initial,
   result.stress = gd_result.error;
   result.iterations = gd_result.iterations;
   result.converged = gd_result.converged;
+  result.non_finite = gd_result.non_finite || !std::isfinite(gd_result.error);
   result.error_trace = gd_result.error_trace;
   return result;
 }
@@ -246,7 +247,14 @@ LssResult localize_lss(const MeasurementSet& measurements, const LssOptions& opt
       v = Vec2{rng.uniform(0.0, options.init_box_m), rng.uniform(0.0, options.init_box_m)};
     }
     LssResult candidate = localize_lss_from(measurements, std::move(initial), options, rng);
-    if (!have_best || candidate.stress < best.stress) {
+    // NaN-aware best-selection: a finite-stress attempt always beats a
+    // non-finite best (plain `<` never replaces a NaN best), and a
+    // non-finite attempt never displaces a finite best.
+    const bool better =
+        !have_best || (std::isfinite(candidate.stress) && !std::isfinite(best.stress)) ||
+        (!(std::isfinite(best.stress) && !std::isfinite(candidate.stress)) &&
+         candidate.stress < best.stress);
+    if (better) {
       best = std::move(candidate);
       have_best = true;
     }

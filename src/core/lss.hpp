@@ -81,6 +81,10 @@ struct LssResult {
   double stress = 0.0;               ///< final E
   int iterations = 0;                ///< accepted gradient steps (best round)
   bool converged = false;
+  /// The solve encountered a non-finite stress (NaN/inf measurements, e.g.
+  /// injected corruption): positions are the last finite iterate and should
+  /// be treated as degraded, not full-confidence.
+  bool non_finite = false;
   std::vector<double> error_trace;   ///< E per iteration when gd.record_trace
 };
 

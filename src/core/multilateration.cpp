@@ -80,6 +80,7 @@ LocalizationResult localize_by_multilateration(const Deployment& deployment,
   const std::size_t n = deployment.size();
   LocalizationResult result;
   result.positions.assign(n, std::nullopt);
+  result.status.assign(n, LocalizationStatus::kUnlocalized);
 
   // Anchor table: position + weight (1 for true anchors; progressive anchors
   // join with reduced weight).
@@ -89,7 +90,22 @@ LocalizationResult localize_by_multilateration(const Deployment& deployment,
     anchor_pos[a] = deployment.positions[a];
     anchor_weight[a] = 1.0;
     result.positions[a] = deployment.positions[a];
+    result.status[a] = LocalizationStatus::kOk;
   }
+
+  // Usable anchor observations for `node`: anchored neighbors with a finite
+  // measured distance. Non-finite distances (injected corruption) would
+  // poison the least-squares objective, so they are dropped here -- with
+  // faults off every distance is finite and the filter is a no-op.
+  const auto collect_observations = [&](NodeId node) {
+    std::vector<AnchorObservation> observations;
+    for (const auto& [neighbor, dist] : measurements.neighbors(node)) {
+      if (!anchor_pos[neighbor].has_value()) continue;
+      if (!std::isfinite(dist)) continue;
+      observations.push_back({*anchor_pos[neighbor], dist, anchor_weight[neighbor]});
+    }
+    return observations;
+  };
 
   const int rounds = options.progressive ? options.max_progressive_rounds : 1;
   for (int round = 0; round < rounds; ++round) {
@@ -100,12 +116,7 @@ LocalizationResult localize_by_multilateration(const Deployment& deployment,
     for (NodeId node = 0; node < n; ++node) {
       if (result.positions[node].has_value()) continue;  // anchors + done
 
-      std::vector<AnchorObservation> observations;
-      for (const auto& [neighbor, dist] : measurements.neighbors(node)) {
-        if (!anchor_pos[neighbor].has_value()) continue;
-        observations.push_back({*anchor_pos[neighbor], dist, anchor_weight[neighbor]});
-      }
-      const auto fit = multilaterate(observations, options, rng);
+      const auto fit = multilaterate(collect_observations(node), options, rng);
       if (fit) {
         newly_localized.emplace_back(node, *fit);
         any_localized = true;
@@ -114,12 +125,34 @@ LocalizationResult localize_by_multilateration(const Deployment& deployment,
 
     for (const auto& [node, position] : newly_localized) {
       result.positions[node] = position;
+      result.status[node] = LocalizationStatus::kOk;
       if (options.progressive) {
         anchor_pos[node] = position;
         anchor_weight[node] = options.progressive_weight;
       }
     }
     if (!any_localized) break;
+  }
+
+  // Degraded pass: after full-confidence localization settles, nodes that
+  // remain unplaced but see at least `degraded_min_anchors` usable anchors
+  // get an under-constrained fix, flagged kDegraded. Runs last so a node that
+  // could have been fully localized in a later progressive round is never
+  // demoted; degraded fixes never join the anchor pool.
+  if (options.allow_degraded) {
+    MultilaterationOptions degraded = options;
+    degraded.min_anchors = options.degraded_min_anchors;
+    degraded.use_intersection_check = false;
+    for (NodeId node = 0; node < n; ++node) {
+      if (result.positions[node].has_value()) continue;
+      const auto observations = collect_observations(node);
+      if (observations.size() < options.degraded_min_anchors) continue;
+      const auto fit = multilaterate(observations, degraded, rng);
+      if (fit) {
+        result.positions[node] = *fit;
+        result.status[node] = LocalizationStatus::kDegraded;
+      }
+    }
   }
   return result;
 }

@@ -35,6 +35,15 @@ struct MultilaterationOptions {
   bool use_intersection_mode_estimate = false;
   std::size_t mode_min_anchors = 5;
 
+  /// Degrade instead of giving up: a node with fewer than `min_anchors` but
+  /// at least `degraded_min_anchors` usable anchors still receives a fix,
+  /// flagged LocalizationStatus::kDegraded in the result (the solve is
+  /// under-constrained -- with two anchors the position is one of two mirror
+  /// points). Degraded fixes never join the progressive anchor pool. Off by
+  /// default so the paper-faithful behavior (and its goldens) are untouched.
+  bool allow_degraded = false;
+  std::size_t degraded_min_anchors = 2;
+
   /// Progressive localization: localized non-anchors become anchors for
   /// later rounds, with weight scaled by `progressive_weight` (default 0.5).
   /// The paper's reported experiments use a single round with constant

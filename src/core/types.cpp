@@ -68,10 +68,33 @@ double MeasurementSet::average_degree() const {
   return 2.0 * static_cast<double>(edges_.size()) / static_cast<double>(node_count_);
 }
 
+const char* localization_status_name(LocalizationStatus status) {
+  switch (status) {
+    case LocalizationStatus::kUnlocalized: return "unlocalized";
+    case LocalizationStatus::kOk: return "ok";
+    case LocalizationStatus::kDegraded: return "degraded";
+  }
+  return "unknown";
+}
+
+LocalizationStatus LocalizationResult::status_of(NodeId id) const {
+  if (id < status.size()) return status[id];
+  const bool placed = id < positions.size() && positions[id].has_value();
+  return placed ? LocalizationStatus::kOk : LocalizationStatus::kUnlocalized;
+}
+
 std::size_t LocalizationResult::localized_count() const {
   std::size_t n = 0;
   for (const auto& p : positions) {
     if (p.has_value()) ++n;
+  }
+  return n;
+}
+
+std::size_t LocalizationResult::degraded_count() const {
+  std::size_t n = 0;
+  for (const LocalizationStatus s : status) {
+    if (s == LocalizationStatus::kDegraded) ++n;
   }
   return n;
 }

@@ -92,12 +92,34 @@ class MeasurementSet {
   std::size_t node_count_ = 0;
 };
 
+/// Per-node localization quality. The degradation contract of the fault
+/// work: a solver that cannot produce a full-confidence fix reports a
+/// flagged status instead of silent garbage (or a thrown trial).
+enum class LocalizationStatus : std::uint8_t {
+  kUnlocalized = 0,  ///< no position estimate for this node
+  kOk = 1,           ///< full-confidence fix (or a true anchor)
+  kDegraded = 2,     ///< low-confidence fix (e.g. under-constrained solve)
+};
+
+/// Stable report name ("unlocalized", "ok", "degraded").
+const char* localization_status_name(LocalizationStatus status);
+
 /// Output of a localization algorithm: estimated position per node, or
 /// nullopt where the algorithm could not localize the node.
 struct LocalizationResult {
   std::vector<std::optional<resloc::math::Vec2>> positions;
+  /// Per-node status, aligned with `positions`. Solvers that predate the
+  /// status contract may leave it empty; status_of() then derives kOk /
+  /// kUnlocalized from the position alone.
+  std::vector<LocalizationStatus> status;
+
+  /// The node's status, derived from `positions` when `status` is empty or
+  /// short (a placed node is kOk, an unplaced one kUnlocalized).
+  LocalizationStatus status_of(NodeId id) const;
 
   std::size_t localized_count() const;
+  /// Nodes placed with a degraded-confidence fix.
+  std::size_t degraded_count() const;
   std::size_t size() const { return positions.size(); }
 };
 

@@ -27,7 +27,32 @@ std::string escape_json(const std::string& s) {
   return out;
 }
 
+// The resilience statistics (failed_trials, coverage, degraded rate) are
+// emitted only for campaigns that sweep a fault axis: appending columns to
+// every serialization would break byte-identity of the fault-free goldens,
+// and for those campaigns the new fields are degenerate anyway (0 failures,
+// coverage == placement rate, 0 degraded).
+bool has_fault_axes(const std::vector<CellResult>& cells) {
+  if (cells.empty()) return false;
+  for (const auto& [name, value] : cells.front().axes) {
+    if (name == "fault_kind") return true;
+  }
+  return false;
+}
+
 }  // namespace
+
+const char* failure_reason_name(FailureReason reason) {
+  switch (reason) {
+    case FailureReason::kNone: return "none";
+    case FailureReason::kScenarioBuild: return "scenario_build";
+    case FailureReason::kConfig: return "config";
+    case FailureReason::kMeasurement: return "measurement";
+    case FailureReason::kSolver: return "solver";
+    case FailureReason::kNonStdException: return "non_std_exception";
+  }
+  return "unknown";
+}
 
 std::string format_value(double value) {
   if (std::isnan(value)) return "nan";
@@ -47,6 +72,7 @@ CellAggregate aggregate_trials(const TrialOutcome* begin, const TrialOutcome* en
   std::vector<double> avg_errors;       // one per scored trial
   std::vector<double> stresses;         // finite stresses only
   double placement_sum = 0.0;
+  double degraded_rate_sum = 0.0;
   double edges_sum = 0.0;
   double augmented_sum = 0.0;
   double skipped_sum = 0.0;
@@ -61,6 +87,9 @@ CellAggregate aggregate_trials(const TrialOutcome* begin, const TrialOutcome* en
     if (!t.ok) continue;
     ++agg.ok_trials;
     placement_sum += t.placement_rate;
+    degraded_rate_sum += t.total_nodes > 0 ? static_cast<double>(t.degraded) /
+                                                 static_cast<double>(t.total_nodes)
+                                           : 0.0;
     edges_sum += static_cast<double>(t.measured_edges);
     augmented_sum += static_cast<double>(t.augmented_edges);
     skipped_sum += static_cast<double>(t.skipped_pairs);
@@ -71,6 +100,19 @@ CellAggregate aggregate_trials(const TrialOutcome* begin, const TrialOutcome* en
     if (std::isfinite(t.stress)) stresses.push_back(t.stress);
   }
 
+  agg.failed_trials = agg.trials - agg.ok_trials;
+  // Coverage averages over every attempted trial, failed ones scoring 0: a
+  // cell where everything crashed covers nothing (0), which is different
+  // from "no data" (NaN, only when the cell has no trials at all).
+  agg.mean_coverage = agg.trials > 0
+                          ? placement_sum / static_cast<double>(agg.trials)
+                          : std::numeric_limits<double>::quiet_NaN();
+
+  if (agg.ok_trials > 0) {
+    agg.mean_degraded_rate = degraded_rate_sum / static_cast<double>(agg.ok_trials);
+  } else {
+    agg.mean_degraded_rate = std::numeric_limits<double>::quiet_NaN();
+  }
   if (agg.ok_trials > 0) {
     const auto n = static_cast<double>(agg.ok_trials);
     agg.mean_placement_rate = placement_sum / n;
@@ -106,6 +148,7 @@ CellAggregate aggregate_trials(const TrialOutcome* begin, const TrialOutcome* en
 
 std::string campaign_to_json(const std::string& sweep_name, std::uint64_t seed,
                              const std::vector<CellResult>& cells) {
+  const bool resilience_fields = has_fault_axes(cells);
   std::string out;
   out += "{\n";
   out += "  \"sweep\": \"" + escape_json(sweep_name) + "\",\n";
@@ -136,6 +179,11 @@ std::string campaign_to_json(const std::string& sweep_name, std::uint64_t seed,
     out += "      \"p95_error_m\": " + number(g.p95_error_m) + ",\n";
     out += "      \"max_error_m\": " + number(g.max_error_m) + ",\n";
     out += "      \"mean_placement_rate\": " + number(g.mean_placement_rate) + ",\n";
+    if (resilience_fields) {
+      out += "      \"failed_trials\": " + std::to_string(g.failed_trials) + ",\n";
+      out += "      \"mean_coverage\": " + number(g.mean_coverage) + ",\n";
+      out += "      \"mean_degraded_rate\": " + number(g.mean_degraded_rate) + ",\n";
+    }
     out += "      \"mean_stress\": " + number(g.mean_stress) + ",\n";
     out += "      \"mean_measured_edges\": " + number(g.mean_measured_edges) + ",\n";
     out += "      \"mean_augmented_edges\": " + number(g.mean_augmented_edges) + ",\n";
@@ -149,6 +197,7 @@ std::string campaign_to_json(const std::string& sweep_name, std::uint64_t seed,
 }
 
 std::string campaign_to_csv(const std::vector<CellResult>& cells) {
+  const bool resilience_fields = has_fault_axes(cells);
   std::string out;
   // Header: axis names from the first cell (all cells of a sweep share them),
   // then the aggregate columns.
@@ -158,7 +207,9 @@ std::string campaign_to_csv(const std::vector<CellResult>& cells) {
   out +=
       "trials,ok_trials,scored_trials,mean_error_m,median_error_m,p95_error_m,"
       "max_error_m,mean_placement_rate,mean_stress,mean_measured_edges,"
-      "mean_augmented_edges,mean_skipped_pairs\n";
+      "mean_augmented_edges,mean_skipped_pairs";
+  if (resilience_fields) out += ",failed_trials,mean_coverage,mean_degraded_rate";
+  out += "\n";
   for (const CellResult& cell : cells) {
     for (const auto& [name, value] : cell.axes) out += value + ",";
     const CellAggregate& g = cell.aggregate;
@@ -167,8 +218,12 @@ std::string campaign_to_csv(const std::vector<CellResult>& cells) {
            format_value(g.median_error_m) + "," + format_value(g.p95_error_m) + "," +
            format_value(g.max_error_m) + "," + format_value(g.mean_placement_rate) + "," +
            format_value(g.mean_stress) + "," + format_value(g.mean_measured_edges) + "," +
-           format_value(g.mean_augmented_edges) + "," + format_value(g.mean_skipped_pairs) +
-           "\n";
+           format_value(g.mean_augmented_edges) + "," + format_value(g.mean_skipped_pairs);
+    if (resilience_fields) {
+      out += "," + std::to_string(g.failed_trials) + "," + format_value(g.mean_coverage) +
+             "," + format_value(g.mean_degraded_rate);
+    }
+    out += "\n";
   }
   return out;
 }

@@ -19,6 +19,25 @@
 
 namespace resloc::eval {
 
+/// Why a trial failed -- the stage that threw. A taxonomy rather than a
+/// string so the runner can count per-reason (obs counters, CLI breakdown)
+/// and tests can assert on classification.
+enum class FailureReason : std::uint8_t {
+  kNone = 0,             ///< the trial completed
+  kScenarioBuild,        ///< scenario lookup / deployment sampling threw
+  kConfig,               ///< sweep-cell -> pipeline config mapping threw
+  kMeasurement,          ///< measurement acquisition (campaign) threw
+  kSolver,               ///< solver or evaluation threw
+  kNonStdException,      ///< something not derived from std::exception
+};
+
+/// Stable report name ("none", "scenario_build", "config", "measurement",
+/// "solver", "non_std_exception").
+const char* failure_reason_name(FailureReason reason);
+
+/// Number of FailureReason values (for per-reason count arrays).
+inline constexpr std::size_t kFailureReasonCount = 6;
+
 /// Reduced result of one trial (one pipeline run on one sampled deployment).
 struct TrialOutcome {
   std::size_t cell_index = 0;    ///< which sweep cell the trial belongs to
@@ -26,6 +45,14 @@ struct TrialOutcome {
   bool ok = false;               ///< false: scenario build or solve failed
   std::size_t total_nodes = 0;   ///< scored nodes (non-anchors for multilat)
   std::size_t localized = 0;
+  /// Nodes placed with a degraded-confidence fix (LocalizationStatus::
+  /// kDegraded): under-constrained multilateration, non-finite LSS solves.
+  std::size_t degraded = 0;
+  /// Pipeline attempts consumed: 1 for a first-try success, 1 + retries
+  /// otherwise (bounded by SweepSpec::max_trial_retries).
+  std::size_t attempts = 1;
+  /// Failure classification when !ok (kNone for completed trials).
+  FailureReason failure = FailureReason::kNone;
   double placement_rate = 0.0;   ///< localized / total
   double average_error_m = 0.0;
   double median_error_m = 0.0;
@@ -60,7 +87,16 @@ struct TrialOutcome {
 struct CellAggregate {
   std::size_t trials = 0;          ///< trials attempted
   std::size_t ok_trials = 0;       ///< trials that ran to completion
+  std::size_t failed_trials = 0;   ///< trials - ok_trials (explicit, not derived)
   std::size_t scored_trials = 0;   ///< ok trials with >= 1 localized node
+  /// Coverage: mean placement rate over ALL attempted trials, with failed
+  /// trials contributing 0 -- the resilience headline. Unlike
+  /// mean_placement_rate (ok trials only), a cell where every trial crashes
+  /// scores 0 coverage, not NaN-absent; NaN only when the cell has no trials.
+  double mean_coverage = 0.0;
+  /// Mean fraction of scored nodes whose fix was degraded, over ok trials
+  /// (NaN when none completed).
+  double mean_degraded_rate = 0.0;
   double mean_error_m = 0.0;       ///< mean over trial average errors
   double median_error_m = 0.0;     ///< median over trial average errors
   double p95_error_m = 0.0;        ///< 95th percentile of trial average errors

@@ -1,0 +1,77 @@
+// Deterministic fault-injection runtime.
+//
+// A FaultInjector answers "does fault X fire at key K?" for every fault kind
+// of a FaultPlan. Every answer is drawn from a tagged counter-based
+// substream of a caller-provided fork base:
+//
+//   crash/sleep schedules   base.fork(kind_tag).fork(node)
+//   mic / stuck detector    base.fork(kind_tag).fork(node)
+//   missed chirp / corrupt  base.fork(kind_tag).fork((round * n + source) * n
+//                                                    + receiver)
+//
+// so a query's outcome depends only on (plan, base, key) -- never on query
+// order, enumeration order, or thread count. That is the same substream
+// contract the measurement campaign already relies on (see
+// sim/field_experiment.hpp), which is what makes a faulted campaign
+// byte-identical at any `threads` value. Queries against an inert plan (or a
+// default-constructed injector) return "no fault" without drawing at all.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/types.hpp"
+#include "fault/fault_plan.hpp"
+#include "math/rng.hpp"
+
+namespace resloc::fault {
+
+class FaultInjector {
+ public:
+  /// Inert injector: every query reports "no fault" and draws nothing.
+  FaultInjector() = default;
+
+  /// Builds the injector for one campaign: `base` is the tagged fork the
+  /// caller dedicates to faults, `node_count` and `rounds` bound the key
+  /// space (crash/sleep schedules need the round horizon).
+  FaultInjector(const FaultPlan& plan, const math::Rng& base,
+                std::size_t node_count, int rounds);
+
+  /// False when the plan is inert -- the fast path the fault-free campaign
+  /// takes through every query below.
+  bool active() const { return active_; }
+
+  /// Whether `node` is up in `round` under the crash/sleep schedules.
+  /// Crashes are permanent from their (>= 1) crash round; sleeps cover a
+  /// contiguous round window. A node that is down neither chirps nor hears.
+  bool node_available(core::NodeId node, int round) const;
+
+  /// Whether `node`'s microphone is forced faulty for the whole campaign.
+  bool mic_faulty(core::NodeId node) const;
+
+  /// Whether `node`'s detector is stuck (latches a constant arrival).
+  bool detector_stuck(core::NodeId node) const;
+
+  /// The constant distance a stuck detector reports, drawn once per node
+  /// (near zero: the detector fires at the start of every window).
+  double stuck_distance_m(core::NodeId node) const;
+
+  /// Whether the directed attempt (round, source -> receiver) vanishes.
+  bool chirp_missed(int round, core::NodeId source, core::NodeId receiver) const;
+
+  /// Possibly corrupts a successful estimate for the directed attempt:
+  /// returns NaN, a multiplicative outlier, or `measured_m` unchanged.
+  double corrupt_distance(int round, core::NodeId source, core::NodeId receiver,
+                          double measured_m) const;
+
+ private:
+  std::uint64_t pair_key(int round, core::NodeId source, core::NodeId receiver) const;
+
+  FaultPlan plan_;
+  math::Rng base_;
+  std::size_t n_ = 0;
+  int rounds_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace resloc::fault

@@ -1,0 +1,87 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace resloc::fault {
+
+bool FaultPlan::enabled() const {
+  return packet_loss_probability > 0.0 || loss_burst_rate_hz > 0.0 ||
+         node_crash_rate > 0.0 || node_sleep_rate > 0.0 || faulty_mic_rate > 0.0 ||
+         stuck_detector_rate > 0.0 || missed_chirp_rate > 0.0 ||
+         corrupt_distance_rate > 0.0;
+}
+
+std::vector<std::string> fault_kind_names() {
+  return {"all",        "corrupt_distance", "faulty_mic", "missed_chirp", "node_crash",
+          "node_sleep", "none",             "packet_loss", "stuck_detector"};
+}
+
+namespace {
+
+/// Scales a base rate by intensity and clamps at its physical cap. The caps
+/// keep extreme intensities meaningful rather than degenerate: a probability
+/// may not exceed its cap (e.g. missing *every* chirp would make every cell
+/// trivially empty).
+double scaled(double base_rate, double intensity, double cap) {
+  return std::min(base_rate * intensity, cap);
+}
+
+}  // namespace
+
+FaultPlan plan_from_kind(const std::string& kind, double intensity) {
+  if (!(intensity >= 0.0)) {
+    throw std::invalid_argument("fault intensity must be >= 0, got " +
+                                std::to_string(intensity));
+  }
+  FaultPlan plan;
+  // Base rates are calibrated so intensity 1.0 visibly stresses -- but does
+  // not flatten -- the paper-scale scenarios; "all" runs every kind at half
+  // strength so the combined plan stays comparable.
+  const double share = kind == "all" ? 0.5 : 1.0;
+  bool known = kind == "none" || kind == "all";
+  if (kind == "packet_loss" || kind == "all") {
+    plan.packet_loss_probability = scaled(0.3 * share, intensity, 0.95);
+    plan.loss_burst_rate_hz = scaled(0.05 * share, intensity, 10.0);
+    plan.loss_burst_duration_s = 0.5;
+    known = true;
+  }
+  if (kind == "node_crash" || kind == "all") {
+    plan.node_crash_rate = scaled(0.25 * share, intensity, 1.0);
+    known = true;
+  }
+  if (kind == "node_sleep" || kind == "all") {
+    plan.node_sleep_rate = scaled(0.3 * share, intensity, 1.0);
+    known = true;
+  }
+  if (kind == "faulty_mic" || kind == "all") {
+    plan.faulty_mic_rate = scaled(0.2 * share, intensity, 1.0);
+    known = true;
+  }
+  if (kind == "stuck_detector" || kind == "all") {
+    plan.stuck_detector_rate = scaled(0.15 * share, intensity, 1.0);
+    known = true;
+  }
+  if (kind == "missed_chirp" || kind == "all") {
+    plan.missed_chirp_rate = scaled(0.2 * share, intensity, 0.9);
+    known = true;
+  }
+  if (kind == "corrupt_distance" || kind == "all") {
+    plan.corrupt_distance_rate = scaled(0.15 * share, intensity, 0.9);
+    known = true;
+  }
+  if (!known) {
+    throw std::invalid_argument("unknown fault kind '" + kind +
+                                "' (fault_kind_names() lists the vocabulary)");
+  }
+  return plan;
+}
+
+void apply_to_radio(const FaultPlan& plan, net::RadioParams& radio) {
+  radio.loss_probability = std::max(radio.loss_probability, plan.packet_loss_probability);
+  radio.loss_burst_rate_hz = std::max(radio.loss_burst_rate_hz, plan.loss_burst_rate_hz);
+  radio.loss_burst_duration_s =
+      std::max(radio.loss_burst_duration_s, plan.loss_burst_duration_s);
+}
+
+}  // namespace resloc::fault

@@ -54,6 +54,12 @@ struct GradientDescentResult {
   double error = 0.0;              ///< E at x
   int iterations = 0;              ///< accepted iterations performed
   bool converged = false;          ///< true if a tolerance triggered the stop
+  /// The objective produced a non-finite value (NaN/inf inputs, e.g. from
+  /// injected measurement corruption): the run stopped at the last finite
+  /// parameter vector instead of accepting a poisoned state. NaN compares
+  /// false to everything, so without this guard the backtracking loop would
+  /// silently *accept* a NaN step and return garbage coordinates.
+  bool non_finite = false;
   std::vector<double> error_trace; ///< per-iteration errors when recorded
 };
 
@@ -86,6 +92,12 @@ GradientDescentResult minimize(ObjectiveFn&& objective, std::vector<double> x0,
   result.x = x0;
   result.error = error;
   if (options.record_trace) result.error_trace.push_back(error);
+  if (!std::isfinite(error)) {
+    // The surface is poisoned at the seed itself (non-finite measurements):
+    // there is no descent direction to trust. Return the seed, flagged.
+    result.non_finite = true;
+    return result;
+  }
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     const double grad_norm = detail::inf_norm(grad);
@@ -100,9 +112,13 @@ GradientDescentResult minimize(ObjectiveFn&& objective, std::vector<double> x0,
 
     if (options.adaptive) {
       // Backtrack: shrink the step until the error stops increasing (or the
-      // step collapses, which we treat as convergence).
+      // step collapses, which we treat as convergence). The predicate is
+      // written !(candidate <= error) rather than (candidate > error) so a
+      // non-finite candidate also backtracks: NaN compares false to
+      // everything, and the > form would silently *accept* a NaN step. For
+      // finite values the two forms are identical.
       int backtracks = 0;
-      while (candidate_error > error && backtracks < 40) {
+      while (!(candidate_error <= error) && backtracks < 40) {
         step *= 0.5;
         for (std::size_t i = 0; i < n; ++i) candidate[i] = result.x[i] - step * grad[i];
         candidate_error = objective(candidate, candidate_grad);
@@ -110,11 +126,17 @@ GradientDescentResult minimize(ObjectiveFn&& objective, std::vector<double> x0,
         ++backtracks;
       }
       obs::add(obs::Counter::kGdBacktracks, static_cast<std::uint64_t>(backtracks));
-      if (candidate_error > error) {
+      if (!(candidate_error <= error)) {
+        if (!std::isfinite(candidate_error)) result.non_finite = true;
         result.converged = true;  // no descent direction progress possible
         break;
       }
       if (backtracks == 0) step *= 1.1;  // reward: cautiously grow the step
+    } else if (!std::isfinite(candidate_error)) {
+      // Fixed-step descent walked off the finite surface: stop at the last
+      // finite iterate instead of accepting the poisoned step.
+      result.non_finite = true;
+      break;
     }
 
     const double improvement = error - candidate_error;
@@ -157,7 +179,13 @@ GradientDescentResult minimize_with_restarts(ObjectiveFn&& objective, std::vecto
   for (int round = 0; round < restart.rounds; ++round) {
     obs::add(obs::Counter::kGdRestartRounds);
     GradientDescentResult r = minimize(objective, seed, options);
-    if (!have_best || r.error < best.error) {
+    // NaN-aware best-selection: a finite round always beats a non-finite
+    // best (plain `<` would never replace a NaN best, since NaN comparisons
+    // are all false), and a non-finite round never displaces a finite best.
+    const bool better =
+        !have_best || (std::isfinite(r.error) && !std::isfinite(best.error)) ||
+        (!(std::isfinite(best.error) && !std::isfinite(r.error)) && r.error < best.error);
+    if (better) {
       // Keep the longest trace view: append this round's trace to the tail.
       if (have_best && options.record_trace) {
         r.error_trace.insert(r.error_trace.begin(), best.error_trace.begin(),

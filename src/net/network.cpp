@@ -5,8 +5,30 @@
 
 namespace resloc::net {
 
+namespace {
+// Substream tag for the burst schedule: keeps correlated-loss draws off the
+// main network stream so faults-on/off changes nothing else.
+constexpr std::uint64_t kBurstStreamTag = 0xB125;
+}  // namespace
+
 Network::Network(RadioParams radio, resloc::math::Rng rng)
-    : radio_(radio), rng_(std::move(rng)) {}
+    : radio_(radio), rng_(std::move(rng)), burst_rng_(rng_.fork(kBurstStreamTag)) {
+  if (radio_.loss_burst_rate_hz > 0.0 && radio_.loss_burst_duration_s > 0.0) {
+    next_burst_start_ = burst_rng_.exponential(radio_.loss_burst_rate_hz);
+  }
+}
+
+bool Network::in_loss_burst() {
+  if (radio_.loss_burst_rate_hz <= 0.0 || radio_.loss_burst_duration_s <= 0.0) return false;
+  const SimTime now = events_.now();
+  // Advance the Poisson schedule past `now`; starts are strictly increasing,
+  // so the latest started burst determines the active window.
+  while (next_burst_start_ <= now) {
+    burst_end_ = next_burst_start_ + radio_.loss_burst_duration_s;
+    next_burst_start_ += burst_rng_.exponential(radio_.loss_burst_rate_hz);
+  }
+  return now < burst_end_;
+}
 
 NodeId Network::add_node(resloc::math::Vec2 position, std::unique_ptr<NodeApp> app) {
   const auto id = static_cast<NodeId>(nodes_.size());
@@ -26,6 +48,11 @@ void Network::start() {
 
 void Network::broadcast(NodeId sender, Message message) {
   ++broadcasts_;
+  if (in_loss_burst()) {
+    // Correlated interference: the whole transmission is lost for everyone.
+    ++bursts_dropped_;
+    return;
+  }
   message.sender = sender;
   // The MAC layer stamps the message with the sender's local clock at the
   // true start of transmission (now): this is the FTSP trick that removes

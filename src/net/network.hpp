@@ -65,6 +65,8 @@ class Network {
   /// flood).
   std::size_t deliveries() const { return deliveries_; }
   std::size_t broadcasts() const { return broadcasts_; }
+  /// Broadcasts swallowed whole by a loss burst.
+  std::size_t bursts_dropped() const { return bursts_dropped_; }
 
  private:
   struct NodeState {
@@ -73,12 +75,22 @@ class Network {
     std::unique_ptr<NodeApp> app;
   };
 
+  /// True while sim-time `now` falls inside a correlated loss burst. The
+  /// burst schedule is a lazily-advanced Poisson process on a dedicated RNG
+  /// substream, so enabling bursts never perturbs the per-receiver loss and
+  /// jitter draws of the main stream.
+  bool in_loss_burst();
+
   RadioParams radio_;
   resloc::math::Rng rng_;
+  resloc::math::Rng burst_rng_;
   EventQueue events_;
   std::vector<NodeState> nodes_;
   std::size_t deliveries_ = 0;
   std::size_t broadcasts_ = 0;
+  std::size_t bursts_dropped_ = 0;
+  SimTime next_burst_start_ = 0.0;
+  SimTime burst_end_ = -1.0;
 };
 
 }  // namespace resloc::net

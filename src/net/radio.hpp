@@ -50,6 +50,13 @@ struct RadioParams {
   double jitter_stddev_s = 5e-6;
   /// Probability an in-range receiver misses the message entirely.
   double loss_probability = 0.0;
+  /// Rate (events/s of sim time) at which whole-network loss bursts start.
+  /// During a burst every broadcast is dropped for all receivers -- the
+  /// correlated-interference failure mode, as opposed to the independent
+  /// per-receiver `loss_probability`. Zero disables bursts.
+  double loss_burst_rate_hz = 0.0;
+  /// Duration of each loss burst in seconds of sim time.
+  double loss_burst_duration_s = 0.0;
 };
 
 }  // namespace resloc::net

@@ -211,6 +211,12 @@ const char* counter_name(Counter c) {
     case Counter::kRunnerTrialFailures: return "runner_trial_failures";
     case Counter::kChannelCacheHits: return "channel_cache_hits";
     case Counter::kChannelCacheMisses: return "channel_cache_misses";
+    case Counter::kRunnerTrialRetries: return "runner_trial_retries";
+    case Counter::kTrialFailScenario: return "trial_fail_scenario_build";
+    case Counter::kTrialFailConfig: return "trial_fail_config";
+    case Counter::kTrialFailMeasurement: return "trial_fail_measurement";
+    case Counter::kTrialFailSolver: return "trial_fail_solver";
+    case Counter::kTrialFailNonStd: return "trial_fail_non_std";
     case Counter::kCount: break;
   }
   return "unknown";

@@ -119,6 +119,12 @@ enum class Counter : std::uint32_t {
   kRunnerTrialFailures,  ///< trials that ended in an exception
   kChannelCacheHits,     ///< link responses served from sim::ChannelResponseCache
   kChannelCacheMisses,   ///< link responses recomputed (cold or evicted entry)
+  kRunnerTrialRetries,   ///< bounded re-runs of failed trials (max_trial_retries)
+  kTrialFailScenario,    ///< trial failures classified scenario_build
+  kTrialFailConfig,      ///< trial failures classified config
+  kTrialFailMeasurement, ///< trial failures classified measurement
+  kTrialFailSolver,      ///< trial failures classified solver
+  kTrialFailNonStd,      ///< trial failures from non-std exceptions
   kCount
 };
 

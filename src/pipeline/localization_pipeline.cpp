@@ -86,6 +86,7 @@ PipelineRun LocalizationPipeline::run_on_measurements(const core::Deployment& de
   out.measurements.set_node_count(deployment.size());
 
   bool align_for_eval = true;
+  bool degrade_placed = false;
   std::vector<core::NodeId> exclude;
 
   const auto solve_start = std::chrono::steady_clock::now();
@@ -123,6 +124,9 @@ PipelineRun LocalizationPipeline::run_on_measurements(const core::Deployment& de
           lss = core::localize_lss(out.measurements, config_.lss, rng);
         }
         out.stress = lss.stress;
+        // A solve that hit non-finite stress stopped at the last finite
+        // configuration: positions exist but carry low confidence.
+        degrade_placed = lss.non_finite;
         std::vector<bool> has_measurement(deployment.size(), false);
         for (const core::DistanceEdge& edge : out.measurements.edges()) {
           if (edge.i < has_measurement.size()) has_measurement[edge.i] = true;
@@ -148,6 +152,22 @@ PipelineRun LocalizationPipeline::run_on_measurements(const core::Deployment& de
     }
   }
   out.solve_wall_s = seconds_since(solve_start);
+
+  // Normalize per-node status to the positions. Multilateration fills its
+  // own (including kDegraded under-constrained fixes); the LSS solvers
+  // predate the status contract and leave it empty, so derive it here --
+  // with every placed node demoted to kDegraded when the solve itself was
+  // flagged (non-finite stress).
+  if (out.estimates.status.size() != out.estimates.positions.size()) {
+    out.estimates.status.assign(out.estimates.positions.size(),
+                                core::LocalizationStatus::kUnlocalized);
+    for (std::size_t id = 0; id < out.estimates.positions.size(); ++id) {
+      if (out.estimates.positions[id].has_value()) {
+        out.estimates.status[id] = degrade_placed ? core::LocalizationStatus::kDegraded
+                                                  : core::LocalizationStatus::kOk;
+      }
+    }
+  }
 
   const auto eval_start = std::chrono::steady_clock::now();
   {

@@ -62,6 +62,15 @@ void mad_reject(std::vector<double>& values, double threshold, double floor_m) {
 std::optional<double> filter_measurements(std::vector<double> measurements,
                                           const FilterPolicy& policy, FilterStats* stats) {
   if (stats != nullptr) *stats = FilterStats{};
+  // Scrub non-finite values first: a NaN in std::sort's comparator is UB and
+  // a NaN median poisons the edge silently. Scrubbing precedes the
+  // max_samples cut so corruption cannot crowd out real measurements.
+  const std::size_t raw_count = measurements.size();
+  measurements.erase(
+      std::remove_if(measurements.begin(), measurements.end(),
+                     [](double x) { return !std::isfinite(x); }),
+      measurements.end());
+  if (stats != nullptr) stats->non_finite_dropped = raw_count - measurements.size();
   if (measurements.empty()) return std::nullopt;
   if (policy.max_samples > 0 && measurements.size() > policy.max_samples) {
     measurements.resize(policy.max_samples);

@@ -75,6 +75,10 @@ struct FilterStats {
   std::size_t after_vote = 0;  ///< survivors of the consistency vote
   std::size_t after_mad = 0;   ///< survivors of MAD rejection
   bool vote_failed = false;    ///< no candidate reached consistency_min_votes
+  /// NaN/inf inputs scrubbed before any stage ran. Always zero for real
+  /// acoustic detections; injected corruption (fault layer) produces them,
+  /// and they must never reach std::sort (NaN comparators are UB).
+  std::size_t non_finite_dropped = 0;
 };
 
 /// Applies the policy to one pair's measurement list. Returns std::nullopt

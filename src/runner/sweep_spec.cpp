@@ -21,7 +21,8 @@ std::size_t cell_count(const SweepSpec& spec) {
          a.noise_sigmas.size() * a.anchor_counts.size() * a.drop_rates.size() *
          a.augment.size() * a.environments.size() * a.chirp_counts.size() *
          a.detection_thresholds.size() * a.unit_models.size() *
-         a.interference_scales.size() * a.detectors.size();
+         a.interference_scales.size() * a.detectors.size() * a.fault_kinds.size() *
+         a.fault_intensities.size();
 }
 
 std::vector<TrialSpec> expand(const SweepSpec& spec) {
@@ -42,27 +43,33 @@ std::vector<TrialSpec> expand(const SweepSpec& spec) {
                       for (const std::string& units : a.unit_models) {
                         for (const double interference : a.interference_scales) {
                           for (const std::string& detector : a.detectors) {
-                            for (std::size_t rep = 0; rep < spec.trials_per_cell; ++rep) {
-                              TrialSpec t;
-                              t.global_index = trials.size();
-                              t.cell_index = cell;
-                              t.trial_index = rep;
-                              t.scenario = scenario;
-                              t.solver = solver;
-                              t.node_count = nodes;
-                              t.noise_sigma = sigma;
-                              t.anchor_count = anchors;
-                              t.drop_rate = drop;
-                              t.augment = augment;
-                              t.environment = environment;
-                              t.chirp_count = chirps;
-                              t.detection_threshold = threshold;
-                              t.unit_model = units;
-                              t.interference_scale = interference;
-                              t.detector = detector;
-                              trials.push_back(std::move(t));
+                            for (const std::string& fault_kind : a.fault_kinds) {
+                              for (const double fault_intensity : a.fault_intensities) {
+                                for (std::size_t rep = 0; rep < spec.trials_per_cell; ++rep) {
+                                  TrialSpec t;
+                                  t.global_index = trials.size();
+                                  t.cell_index = cell;
+                                  t.trial_index = rep;
+                                  t.scenario = scenario;
+                                  t.solver = solver;
+                                  t.node_count = nodes;
+                                  t.noise_sigma = sigma;
+                                  t.anchor_count = anchors;
+                                  t.drop_rate = drop;
+                                  t.augment = augment;
+                                  t.environment = environment;
+                                  t.chirp_count = chirps;
+                                  t.detection_threshold = threshold;
+                                  t.unit_model = units;
+                                  t.interference_scale = interference;
+                                  t.detector = detector;
+                                  t.fault_kind = fault_kind;
+                                  t.fault_intensity = fault_intensity;
+                                  trials.push_back(std::move(t));
+                                }
+                                ++cell;
+                              }
                             }
-                            ++cell;
                           }
                         }
                       }
@@ -88,9 +95,11 @@ std::string solver_name(resloc::pipeline::Solver solver) {
   return "unknown";
 }
 
-std::vector<std::pair<std::string, std::string>> cell_axes(const TrialSpec& trial) {
-  // Sentinel coordinates print as "base": they mean "whatever the sweep's
-  // base pipeline config says", which is only resolvable at trial time.
+namespace {
+
+// Sentinel coordinates print as "base": they mean "whatever the sweep's
+// base pipeline config says", which is only resolvable at trial time.
+std::vector<std::pair<std::string, std::string>> base_cell_axes(const TrialSpec& trial) {
   return {
       {"scenario", trial.scenario},
       {"solver", solver_name(trial.solver)},
@@ -108,6 +117,20 @@ std::vector<std::pair<std::string, std::string>> cell_axes(const TrialSpec& tria
        trial.interference_scale == 1.0 ? "base" : label(trial.interference_scale)},
       {"detector", trial.detector.empty() ? "base" : trial.detector},
   };
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, std::string>> cell_axes(const TrialSpec& trial) {
+  auto axes = base_cell_axes(trial);
+  // Fault columns appear only when the sweep actually sweeps faults: the
+  // sentinel kind "" means "base plan", and tacking a constant "base" column
+  // onto every historical sweep would change their golden CSV/JSON bytes.
+  if (!trial.fault_kind.empty()) {
+    axes.emplace_back("fault_kind", trial.fault_kind);
+    axes.emplace_back("fault_intensity", label(trial.fault_intensity));
+  }
+  return axes;
 }
 
 }  // namespace resloc::runner

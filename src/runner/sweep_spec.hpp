@@ -62,6 +62,19 @@ struct SweepAxes {
   /// "goertzel", "ncc"); "" keeps the base campaign's detector. An unknown
   /// name fails the trial loudly at config-application time.
   std::vector<std::string> detectors = {""};
+
+  // --- Fault-injection axes (src/fault). The sentinels ("" / any intensity)
+  // keep the base config's fault plan -- inert by default -- so fault-free
+  // sweeps gain no cells and their cell axis labels (and goldens) are
+  // unchanged: cell_axes() appends the fault columns only when fault_kind is
+  // non-sentinel. An unknown kind fails the trial loudly at config time. ---
+
+  /// Fault-plan kinds (fault::fault_kind_names(): "none", "packet_loss",
+  /// "node_crash", ..., "all"); "" keeps the base plan.
+  std::vector<std::string> fault_kinds = {""};
+  /// Intensity multiplier handed to fault::plan_from_kind (1.0 = the kind's
+  /// reference rates). Only read when fault_kind is non-sentinel.
+  std::vector<double> fault_intensities = {1.0};
 };
 
 /// A full sweep: axes over a base pipeline configuration.
@@ -75,6 +88,12 @@ struct SweepSpec {
   /// values (solver, noise sigma, augmentation).
   resloc::pipeline::PipelineConfig base;
   SweepAxes axes;
+  /// Bounded re-runs of a failed trial before it is recorded as failed:
+  /// attempt a > 0 reruns the pipeline on a fresh substream of the same
+  /// trial RNG (fork(8 + a), disjoint from the first attempt's fork(0..2)),
+  /// so a retry is a genuinely different draw yet fully deterministic.
+  /// 0 (default) preserves the historical single-attempt behavior exactly.
+  std::size_t max_trial_retries = 0;
 };
 
 /// One concrete trial: a cell of the cross product plus a repetition index.
@@ -95,6 +114,8 @@ struct TrialSpec {
   std::string unit_model;         ///< "" = base unit-variation model
   double interference_scale = 1.0;
   std::string detector;           ///< "" = base detector mode
+  std::string fault_kind;         ///< "" = base fault plan (inert by default)
+  double fault_intensity = 1.0;   ///< read only when fault_kind != ""
 };
 
 /// Number of cells in the cross product (0 if any axis is empty).
@@ -104,7 +125,8 @@ std::size_t cell_count(const SweepSpec& spec);
 /// (all repetitions of cell 0 first). Deterministic: axis order is fixed as
 /// scenario > solver > node_count > noise_sigma > anchor_count > drop_rate >
 /// augment > environment > chirp_count > detection_threshold > unit_model >
-/// interference_scale > detector, slowest axis first.
+/// interference_scale > detector > fault_kind > fault_intensity, slowest
+/// axis first.
 std::vector<TrialSpec> expand(const SweepSpec& spec);
 
 /// Human-readable solver name ("multilateration", "lss", "distributed_lss").

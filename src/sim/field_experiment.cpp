@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "fault/fault_injector.hpp"
 #include "math/grid_pairs.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/channel_cache.hpp"
@@ -26,6 +27,9 @@ namespace {
 /// shadowing decorrelated from a turn's measurement noise.
 constexpr std::uint64_t kShadowingStreamTag = 0x5AD0;
 constexpr std::uint64_t kMeasurementStreamTag = 0x3EA5;
+/// Base fork handed to the fault injector; it derives per-kind, per-key
+/// substreams internally (see fault/fault_injector.hpp).
+constexpr std::uint64_t kFaultStreamTag = 0xFA17;
 
 /// The link's symmetric shadowing draw, recomputed on demand from its own
 /// substream: same value in both directions and every round, O(1) memory.
@@ -65,10 +69,16 @@ std::vector<double> FieldExperimentData::raw_errors() const {
 }
 
 double FieldExperimentData::mean_abs_detection_offset_samples() const {
-  if (samples.empty()) return 0.0;
   double sum = 0.0;
-  for (const auto& s : samples) sum += std::abs(s.detection_offset_samples);
-  return sum / static_cast<double>(samples.size());
+  std::size_t count = 0;
+  for (const auto& s : samples) {
+    // Injected NaN corruption yields a non-finite offset; one poisoned
+    // sample must not turn the whole campaign diagnostic into NaN.
+    if (!std::isfinite(s.detection_offset_samples)) continue;
+    sum += std::abs(s.detection_offset_samples);
+    ++count;
+  }
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
 }
 
 FieldExperimentData run_field_experiment(const resloc::core::Deployment& deployment,
@@ -93,6 +103,21 @@ FieldExperimentData run_field_experiment(const resloc::core::Deployment& deploym
   // indexed by what it is for (pair, turn), never by when it happens.
   const resloc::math::Rng shadow_base = rng.fork(kShadowingStreamTag);
   const resloc::math::Rng measurement_base = rng.fork(kMeasurementStreamTag);
+
+  // Fault injector on its own tagged fork. fork() is const and never
+  // advances `rng`, and an inert plan draws nothing, so a fault-free
+  // campaign's byte-stream is unchanged by this line existing.
+  const resloc::fault::FaultInjector injector(config.faults, rng.fork(kFaultStreamTag), n,
+                                              config.rounds);
+
+  // Faulty-mic injection reuses the campaign's physical fault model: a
+  // forced-faulty mic suffers the same persistent wide-band noise (spurious
+  // detections + leakage) a unit-model-drawn faulty mic does.
+  if (injector.active()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (injector.mic_faulty(static_cast<NodeId>(i))) mics[i].faulty = true;
+    }
+  }
 
   // Front end: the in-range pair set and the skip count. The grid path finds
   // both in O(n + in-range pairs); the dense reference path replicates the
@@ -133,9 +158,28 @@ FieldExperimentData run_field_experiment(const resloc::core::Deployment& deploym
                             ChannelResponseCache& channel_cache) {
     obs::add(obs::Counter::kCampaignTurns);
     const auto source = static_cast<NodeId>(turn % n);
+    const int round = static_cast<int>(turn / n);
+    // A crashed or sleeping source skips its whole turn (it cannot chirp).
+    if (injector.active() && !injector.node_available(source, round)) return;
     resloc::math::Rng stream = measurement_base.fork(turn);  // == round * n + source
     std::vector<TurnEstimate>& out = turns[turn];
     const auto attempt = [&](NodeId receiver, double true_d) {
+      if (injector.active()) {
+        // A down receiver hears nothing; a missed chirp is a per-attempt
+        // detection dropout. Both consume only injector substream draws, so
+        // the turn stream's draw sequence for surviving attempts is the
+        // same at any thread count.
+        if (!injector.node_available(receiver, round)) return;
+        if (injector.chirp_missed(round, source, receiver)) return;
+        if (injector.detector_stuck(receiver)) {
+          // Stuck detector: latches the same bogus arrival every time, so
+          // its reported distance is constant per node -- self-consistent
+          // across rounds (it sails through the consistency vote) but wrong,
+          // which is exactly what the bidirectional check is for.
+          out.push_back({receiver, true_d, injector.stuck_distance_m(receiver)});
+          return;
+        }
+      }
       // Shadowing is applied as a reduction of the effective source level.
       resloc::acoustics::SpeakerUnit speaker = speakers[source];
       speaker.output_db +=
@@ -151,7 +195,13 @@ FieldExperimentData run_field_experiment(const resloc::core::Deployment& deploym
       const acoustics::LinkResponse& link = channel_cache.lookup(true_d);
       const auto estimate =
           service.measure(true_d, speaker, mics[receiver], stream, scratch, link);
-      if (estimate) out.push_back({receiver, true_d, *estimate});
+      if (estimate) {
+        double measured = *estimate;
+        if (injector.active()) {
+          measured = injector.corrupt_distance(round, source, receiver, measured);
+        }
+        out.push_back({receiver, true_d, measured});
+      }
     };
     if (config.dense_pair_scan) {
       for (NodeId receiver = 0; receiver < n; ++receiver) {

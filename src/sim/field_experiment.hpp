@@ -27,6 +27,7 @@
 
 #include "acoustics/units.hpp"
 #include "core/types.hpp"
+#include "fault/fault_plan.hpp"
 #include "math/rng.hpp"
 #include "ranging/measurement_table.hpp"
 #include "ranging/ranging_service.hpp"
@@ -63,6 +64,15 @@ struct FieldExperimentConfig {
   /// with its own RangingScratch, and results are aggregated in turn order,
   /// so the campaign output is byte-identical at any thread count.
   int threads = 1;
+
+  /// Fault-injection plan for the campaign (acoustic-layer faults: node
+  /// availability, forced-faulty mics, stuck detectors, missed chirps,
+  /// corrupted distances; the radio-layer fields apply where a net::Network
+  /// is built, via fault::apply_to_radio). The default plan is inert: the
+  /// injector base is forked without advancing `rng` and no fault substream
+  /// is ever drawn, so a fault-free campaign is byte-identical to one built
+  /// before this field existed.
+  resloc::fault::FaultPlan faults;
 
   /// Reference path: replicate the seed implementation's O(n^2) structure
   /// (precomputed n x n shadowing matrix, all-pairs receiver scan per turn)

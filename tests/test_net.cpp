@@ -33,6 +33,21 @@ TEST(EventQueue, TiesBreakInScheduleOrder) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
+TEST(EventQueue, SameTimestampFifoHoldsAcrossHandlerScheduling) {
+  // A handler that schedules at an already-populated timestamp lands after
+  // the events that were scheduled there first: ties break in schedule
+  // order even when scheduling is interleaved with execution.
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(2.0, [&] { order.push_back(1); });
+  q.schedule_at(1.0, [&] {
+    order.push_back(0);
+    q.schedule_at(2.0, [&] { order.push_back(2); });
+  });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
 TEST(EventQueue, HandlersMayScheduleMore) {
   EventQueue q;
   int count = 0;
@@ -69,6 +84,20 @@ TEST(Clock, RoundTripConversion) {
   const Clock c(3.7, -42e-6);
   for (double t : {0.0, 1.0, 55.5, 1234.0}) {
     EXPECT_NEAR(c.true_time(c.local_time(t)), t, 1e-9);
+  }
+}
+
+TEST(Clock, RoundTripStaysTightAtDriftBounds) {
+  // Round-trip error at the drift extremes (+/- 200 ppm, 4x the radio
+  // default) over a multi-day horizon: conversion must stay well under a
+  // microsecond, or MAC-timestamp ranging would inherit the bias.
+  for (double drift : {200e-6, -200e-6, 50e-6, -50e-6}) {
+    const Clock c(123.456, drift);
+    for (double t : {0.0, 1.0, 3600.0, 86400.0, 3.0 * 86400.0}) {
+      EXPECT_NEAR(c.true_time(c.local_time(t)), t, 1e-6) << drift << " " << t;
+      // Local time is strictly monotone in true time for |drift| < 1.
+      EXPECT_GT(c.local_time(t + 1e-3), c.local_time(t)) << drift << " " << t;
+    }
   }
 }
 
@@ -153,6 +182,51 @@ TEST(Network, LossDropsEverything) {
   net.start();
   net.run();
   EXPECT_TRUE(log.empty());
+}
+
+TEST(Network, LossBurstSwallowsBroadcastsWholesale) {
+  // A burst schedule dense enough to be active at the send instant drops the
+  // whole broadcast (correlated loss: every receiver misses it together).
+  RadioParams radio;
+  radio.loss_burst_rate_hz = 1e6;   // first burst starts ~1 us in
+  radio.loss_burst_duration_s = 10.0;
+  Network net(radio, Rng(7));
+  std::vector<Reception> log;
+  net.add_node(Vec2{0.0, 0.0}, std::make_unique<BeaconApp>());
+  net.add_node(Vec2{5.0, 0.0}, std::make_unique<RecorderApp>(log));
+  net.start();
+  net.run();
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(net.bursts_dropped(), 1u);
+  EXPECT_EQ(net.broadcasts(), 1u);  // the send still counts as attempted
+}
+
+TEST(Network, BurstsOffByDefaultAndDeterministicUnderSeed) {
+  RadioParams radio;  // burst rate 0: the schedule never engages
+  Network net(radio, Rng(8));
+  std::vector<Reception> log;
+  net.add_node(Vec2{0.0, 0.0}, std::make_unique<BeaconApp>());
+  net.add_node(Vec2{5.0, 0.0}, std::make_unique<RecorderApp>(log));
+  net.start();
+  net.run();
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(net.bursts_dropped(), 0u);
+
+  // With bursts on, the drop decision is a pure function of the seed: two
+  // same-seeded networks agree exactly.
+  radio.loss_burst_rate_hz = 100.0;
+  radio.loss_burst_duration_s = 0.005;
+  std::size_t dropped[2];
+  for (int run = 0; run < 2; ++run) {
+    Network bursty(radio, Rng(99));
+    std::vector<Reception> sink;
+    bursty.add_node(Vec2{0.0, 0.0}, std::make_unique<BeaconApp>());
+    bursty.add_node(Vec2{5.0, 0.0}, std::make_unique<RecorderApp>(sink));
+    bursty.start();
+    bursty.run();
+    dropped[run] = bursty.bursts_dropped();
+  }
+  EXPECT_EQ(dropped[0], dropped[1]);
 }
 
 TEST(Network, SenderDoesNotHearItself) {

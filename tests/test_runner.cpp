@@ -88,6 +88,7 @@ TEST(CampaignRunner, UnknownScenarioFailsTrialNotCampaign) {
   ASSERT_EQ(result.trials.size(), 4u);
   for (const auto& t : result.trials) {
     EXPECT_FALSE(t.ok);
+    EXPECT_EQ(t.failure, resloc::eval::FailureReason::kScenarioBuild);
     EXPECT_NE(t.error.find("no_such_scenario"), std::string::npos);
   }
   for (const auto& c : result.cells) EXPECT_EQ(c.aggregate.ok_trials, 0u);
